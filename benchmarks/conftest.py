@@ -1,0 +1,76 @@
+"""Shared helpers for the benchmark suite.
+
+Every figure benchmark runs its experiment exactly once (rounds=1 —
+these are multi-second simulations, not microbenchmarks), prints the
+reproduced curves, and writes them to ``benchmarks/results/<id>.txt``
+so the EXPERIMENTS.md evidence can be regenerated at any time.
+
+Set ``REPRO_BENCH_FULL=1`` to sweep the full load grids (slow; this is
+what the committed EXPERIMENTS.md numbers used).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import (
+    get_experiment,
+    render_figure_result,
+    run_figure,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def figure_bench(benchmark):
+    """Fixture: run one paper figure as a benchmark by experiment id."""
+
+    def _run(exp_id: str):
+        return bench_figure(benchmark, exp_id)
+
+    return _run
+
+
+def bench_figure(benchmark, exp_id: str):
+    """Run one paper figure as a benchmark; print + persist the result."""
+    config = get_experiment(exp_id)
+    quick = os.environ.get("REPRO_BENCH_FULL", "0") != "1"
+
+    result_holder = {}
+
+    def once():
+        result_holder["result"] = run_figure(config, quick=quick)
+        return result_holder["result"]
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    result = result_holder["result"]
+    text = render_figure_result(result)
+    print()
+    print(text)
+    # Quick-grid runs go to results/quick/ so they never clobber the
+    # committed full-sweep evidence in results/.
+    out_dir = RESULTS_DIR / "quick" if quick else RESULTS_DIR
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / f"{exp_id}.txt").write_text(text, encoding="utf-8")
+
+    # Sanity: every curve produced data.
+    for key, points in result.curves.items():
+        assert points, f"curve {key} is empty"
+    return result
+
+
+@pytest.fixture
+def save_result():
+    """Persist an ablation's rendered table."""
+
+    def _save(name: str, text: str) -> None:
+        print()
+        print(text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text, encoding="utf-8")
+
+    return _save

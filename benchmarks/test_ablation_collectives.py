@@ -1,0 +1,52 @@
+"""A11 — collective workloads (extension beyond the paper).
+
+MLID vs SLID under the communication structures fat-trees are bought
+for: pipelined all-to-all, recursive doubling (allreduce) and ring
+exchange, at a moderate fixed load on the 8-port 2-tree.
+"""
+
+from repro.experiments.report import render_table
+from repro.ib.config import SimConfig
+from repro.ib.subnet import build_subnet
+from repro.traffic import make_pattern
+
+LOAD = 0.3
+WORKLOADS = ("alltoall", "recursivedoubling", "ring")
+
+
+def sweep():
+    rows = []
+    for workload in WORKLOADS:
+        for scheme in ("slid", "mlid"):
+            net = build_subnet(8, 2, scheme, SimConfig(num_vls=1), seed=1)
+            net.attach_pattern(make_pattern(workload, net.num_nodes))
+            res = net.run_measurement(LOAD, warmup_ns=20_000, measure_ns=80_000)
+            rows.append(
+                {
+                    "workload": workload,
+                    "scheme": scheme,
+                    "offered": LOAD,
+                    "accepted": res["accepted"],
+                    "latency_mean": res["latency_mean"],
+                    "latency_p99": res["latency_p99"],
+                }
+            )
+    return rows
+
+
+def test_collectives(benchmark, save_result):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_result(
+        "a11_collectives",
+        render_table(rows, title=f"A11: collective workloads, FT(8,2) @ {LOAD}"),
+    )
+    by = {(r["workload"], r["scheme"]): r for r in rows}
+    for workload in WORKLOADS:
+        for scheme in ("slid", "mlid"):
+            # Below saturation these admissible schedules deliver fully.
+            assert by[(workload, scheme)]["accepted"] > LOAD * 0.85
+    # Ring (nearest neighbour) is the cheapest in latency.
+    assert (
+        by[("ring", "mlid")]["latency_mean"]
+        < by[("alltoall", "mlid")]["latency_mean"]
+    )

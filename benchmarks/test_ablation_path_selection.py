@@ -1,0 +1,49 @@
+"""A6 — path-selection policy ablation (extension beyond the paper).
+
+The paper selects the path offset by source rank.  This ablation holds
+the addressing and forwarding fixed and swaps only the selection
+policy: the paper's rank, a pair hash, and a destination-staggered
+rank (see :mod:`repro.core.extensions`).  Measured on both workloads
+at a high offered load.
+"""
+
+from repro.experiments.report import render_table
+from repro.experiments.runner import run_point
+from repro.ib.config import SimConfig
+
+SCHEMES = ["slid", "mlid", "mlid-hash", "mlid-stagger"]
+LOAD = 0.8
+
+
+def sweep():
+    rows = []
+    for pattern in ("uniform", "centric"):
+        for scheme in SCHEMES:
+            res = run_point(
+                8, 2, scheme, pattern, LOAD,
+                cfg=SimConfig(num_vls=1),
+                warmup_ns=20_000, measure_ns=80_000, seed=1,
+            )
+            rows.append(
+                {
+                    "pattern": pattern,
+                    "scheme": scheme,
+                    "accepted": res["accepted"],
+                    "latency_mean": res["latency_mean"],
+                }
+            )
+    return rows
+
+
+def test_path_selection_policies(benchmark, save_result):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_result(
+        "a6_path_selection",
+        render_table(
+            rows, title=f"A6: path-selection policies, FT(8,2) @ {LOAD}, 1 VL"
+        ),
+    )
+    acc = {(r["pattern"], r["scheme"]): r["accepted"] for r in rows}
+    # Hot-spot: every multi-LID policy beats the single-LID baseline.
+    for scheme in ("mlid", "mlid-hash", "mlid-stagger"):
+        assert acc[("centric", scheme)] > acc[("centric", "slid")] * 0.95

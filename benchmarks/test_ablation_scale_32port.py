@@ -1,0 +1,50 @@
+"""A10 — 512-node scale test: the 32-port 2-tree.
+
+The largest network the paper's Table 1 implies ("large (16-port or
+32-port)" in Observation 1).  One saturation point per scheme and
+pattern — the full figure grid at this size is left to
+REPRO_BENCH_FULL users.
+"""
+
+import os
+
+from repro.experiments.report import render_table
+from repro.experiments.runner import run_point
+from repro.ib.config import SimConfig
+
+
+def sweep():
+    full = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+    measure = 80_000 if full else 40_000
+    rows = []
+    for pattern, load in (("uniform", 0.15), ("centric", 0.15)):
+        for scheme in ("slid", "mlid"):
+            res = run_point(
+                32, 2, scheme, pattern, load,
+                cfg=SimConfig(num_vls=1),
+                warmup_ns=10_000, measure_ns=measure, seed=1,
+            )
+            rows.append(
+                {
+                    "pattern": pattern,
+                    "scheme": scheme,
+                    "offered": load,
+                    "accepted": res["accepted"],
+                    "latency_mean": res["latency_mean"],
+                    "packets": res["packets"],
+                }
+            )
+    return rows
+
+
+def test_scale_32port(benchmark, save_result):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_result(
+        "a10_scale_32port",
+        render_table(rows, title="A10: 32-port 2-tree (512 nodes) @ 0.15"),
+    )
+    acc = {(r["pattern"], r["scheme"]): r["accepted"] for r in rows}
+    # Uniform: both schemes near the engine bound (0.08); centric:
+    # MLID sustains at least SLID's throughput at 512 nodes.
+    assert acc[("uniform", "mlid")] > 0.06
+    assert acc[("centric", "mlid")] >= acc[("centric", "slid")] * 0.95

@@ -1,0 +1,44 @@
+"""A3 — tree-depth scaling (the paper's Remark 3).
+
+Fixed offered load on FT(4,2), FT(4,3) and FT(4,4): how the MLID/SLID
+saturation relationship evolves as the tree gets taller (more switch
+levels, more least common ancestors: 2^(n-1) paths per pair at m=4).
+"""
+
+from repro.experiments.report import render_table
+from repro.experiments.runner import run_point
+from repro.ib.config import SimConfig
+
+LOAD = 0.8
+TREES = [(4, 2), (4, 3), (4, 4)]
+
+
+def sweep():
+    rows = []
+    for m, n in TREES:
+        for scheme in ("slid", "mlid"):
+            res = run_point(
+                m, n, scheme, "uniform", LOAD,
+                cfg=SimConfig(num_vls=1),
+                warmup_ns=20_000, measure_ns=60_000, seed=1,
+            )
+            rows.append(
+                {
+                    "m": m,
+                    "n": n,
+                    "nodes": 2 * (m // 2) ** n,
+                    "scheme": scheme,
+                    "accepted": res["accepted"],
+                    "latency_mean": res["latency_mean"],
+                }
+            )
+    return rows
+
+
+def test_tree_depth(benchmark, save_result):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_result(
+        "a3_tree_depth",
+        render_table(rows, title=f"A3: depth scaling, uniform @ {LOAD}"),
+    )
+    assert all(r["accepted"] > 0 for r in rows)

@@ -1,0 +1,64 @@
+"""A7 — analytical-vs-simulated validation table.
+
+For each evaluated topology, compares the closed-form saturation bound
+(the leaf routing engine under uniform traffic; the hot ejection link
+under centric traffic) with the measured saturation.  The simulator is
+validated when measurements sit just below their binding bound.
+"""
+
+from repro.experiments import analytical as an
+from repro.experiments.report import render_table
+from repro.experiments.runner import run_point
+from repro.ib.config import SimConfig
+
+TOPOLOGIES = [(4, 2), (8, 2), (16, 2), (8, 3)]
+
+
+def sweep():
+    cfg = SimConfig(num_vls=1)
+    rows = []
+    for m, n in TOPOLOGIES:
+        bound = an.uniform_saturation_bound(cfg, m, n)
+        res = run_point(
+            m, n, "mlid", "uniform", min(1.2, bound * 1.6),
+            cfg=cfg, warmup_ns=15_000, measure_ns=60_000, seed=1,
+        )
+        rows.append(
+            {
+                "m": m,
+                "n": n,
+                "pattern": "uniform",
+                "bound": bound,
+                "measured": res["accepted"],
+                "measured/bound": res["accepted"] / bound,
+            }
+        )
+        hot_sat = an.centric_hot_saturation_offered(cfg, m, n, 0.5)
+        res = run_point(
+            m, n, "mlid", "centric", hot_sat * 0.5,
+            cfg=cfg, warmup_ns=30_000, measure_ns=120_000, seed=1,
+        )
+        rows.append(
+            {
+                "m": m,
+                "n": n,
+                "pattern": "centric<sat",
+                "bound": hot_sat * 0.5,
+                "measured": res["accepted"],
+                "measured/bound": res["accepted"] / (hot_sat * 0.5),
+            }
+        )
+    return rows
+
+
+def test_analytical_validation(benchmark, save_result):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_result(
+        "a7_analytical", render_table(rows, title="A7: bounds vs simulation")
+    )
+    for row in rows:
+        # Sub-saturation runs deliver what was offered; saturated
+        # uniform runs approach the bound from below.  A few percent
+        # above 1.0 can appear for centric points from warmup-backlog
+        # drain and small-sample noise at the very low hot-spot rates.
+        assert 0.7 <= row["measured/bound"] <= 1.15

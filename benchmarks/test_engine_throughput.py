@@ -1,0 +1,56 @@
+"""A5 — engine microbenchmarks: events/second of the DES core and
+packets/second of the full subnet simulator.
+
+These are true microbenchmarks (multiple rounds) — they track the
+substrate's performance so simulator regressions are visible.
+"""
+
+from repro.ib.config import SimConfig
+from repro.ib.subnet import build_subnet
+from repro.sim.engine import Engine
+from repro.traffic import UniformPattern
+
+
+def test_raw_event_dispatch(benchmark):
+    """Schedule+fire cost of a bare event chain."""
+
+    def run_chain():
+        eng = Engine()
+
+        def tick():
+            if eng.now < 10_000.0:
+                eng.schedule_after(1.0, tick)
+
+        eng.schedule(0.0, tick)
+        eng.run()
+        return eng.events_processed
+
+    events = benchmark(run_chain)
+    assert events == 10_001
+
+
+def test_heap_mixed_schedule(benchmark):
+    """Dispatch with a populated heap (closer to simulator reality)."""
+
+    def run():
+        eng = Engine()
+        for i in range(5_000):
+            eng.schedule(float(i % 97), lambda: None)
+        eng.run()
+        return eng.events_processed
+
+    assert benchmark(run) == 5_000
+
+
+def test_subnet_simulation_rate(benchmark):
+    """Packets simulated per wall-second on the 8-port 2-tree at a
+    moderate uniform load (the workhorse configuration)."""
+
+    def run():
+        net = build_subnet(8, 2, "mlid", SimConfig(num_vls=1), seed=1)
+        net.attach_pattern(UniformPattern(net.num_nodes))
+        res = net.run_measurement(0.3, warmup_ns=2_000, measure_ns=30_000)
+        return res["packets"]
+
+    packets = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert packets > 500

@@ -1,0 +1,16 @@
+"""F14 — paper Figure 14: uniform traffic on the 16-port-2-tree.
+
+Reproduces the latency-vs-accepted-traffic curves for SLID and MLID at
+1, 2 and 4 virtual lanes (quick grid by default; set REPRO_BENCH_FULL=1
+for the full sweep).  Shape expectations recorded in EXPERIMENTS.md:
+MLID saturation throughput >= SLID's, the gap growing with port count
+and under hot-spot (centric) traffic; MLID latency exceeds SLID's near
+saturation at equal offered load (paper Observation 2).
+"""
+
+
+def test_fig14(figure_bench):
+    result = figure_bench("fig14")
+    # Every (scheme, VL) curve must carry traffic on the quick grid.
+    for (scheme, vls), points in result.curves.items():
+        assert max(p.accepted for p in points) > 0.0

@@ -1,0 +1,56 @@
+"""A14 — statistical robustness of the headline comparison.
+
+Runs the fig13/fig17 mid-load points over five seeds and reports
+mean ± standard deviation.  The reproduction's claims survive only if
+the scheme gaps exceed seed noise; the assertions encode that.
+"""
+
+import statistics
+
+from repro.experiments.report import render_table
+from repro.experiments.runner import run_point
+from repro.ib.config import SimConfig
+
+SEEDS = (1, 2, 3, 4, 5)
+
+
+def sweep():
+    rows = []
+    for pattern, load in (("uniform", 0.6), ("centric", 0.8)):
+        for scheme in ("slid", "mlid"):
+            accs = []
+            for seed in SEEDS:
+                res = run_point(
+                    8, 2, scheme, pattern, load,
+                    cfg=SimConfig(num_vls=1),
+                    warmup_ns=20_000, measure_ns=60_000, seed=seed,
+                )
+                accs.append(res["accepted"])
+            rows.append(
+                {
+                    "pattern": pattern,
+                    "scheme": scheme,
+                    "seeds": len(SEEDS),
+                    "mean": statistics.mean(accs),
+                    "stdev": statistics.stdev(accs),
+                    "cv%": 100 * statistics.stdev(accs) / statistics.mean(accs),
+                }
+            )
+    return rows
+
+
+def test_statistical_robustness(benchmark, save_result):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_result(
+        "a14_statistics",
+        render_table(rows, title="A14: accepted traffic over 5 seeds, FT(8,2)"),
+    )
+    by = {(r["pattern"], r["scheme"]): r for r in rows}
+    # Seed noise is small at saturation...
+    for row in rows:
+        assert row["cv%"] < 5.0
+    # ...and the centric MLID-over-SLID gap exceeds two joint stdevs.
+    slid, mlid = by[("centric", "slid")], by[("centric", "mlid")]
+    gap = mlid["mean"] - slid["mean"]
+    noise = (slid["stdev"] ** 2 + mlid["stdev"] ** 2) ** 0.5
+    assert gap > 2 * noise

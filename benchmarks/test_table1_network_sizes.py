@@ -1,0 +1,42 @@
+"""T1 — the paper's Table 1: simulated network sizes.
+
+Static (no simulation): constructs each evaluated FT(m, n), validates
+it structurally, and reports the size/addressing columns.
+"""
+
+from repro.core.addressing import MlidAddressing
+from repro.experiments.report import render_table
+from repro.topology.fattree import FatTree
+from repro.topology.validate import validate_fattree
+
+CONFIGS = [(4, 2), (8, 2), (16, 2), (32, 2), (4, 3), (8, 3)]
+
+
+def build_rows():
+    rows = []
+    for m, n in CONFIGS:
+        ft = FatTree(m, n)
+        validate_fattree(ft)
+        addr = MlidAddressing(m, n)
+        rows.append(
+            {
+                "m-port": m,
+                "n-tree": n,
+                "nodes": ft.num_nodes,
+                "switches": ft.num_switches,
+                "LMC": addr.lmc,
+                "LIDs/node": addr.lids_per_node,
+                "total LIDs": addr.num_lids,
+            }
+        )
+    return rows
+
+
+def test_table1(benchmark, save_result):
+    rows = benchmark(build_rows)
+    # Paper formulas: 2(m/2)^n nodes, (2n-1)(m/2)^(n-1) switches.
+    assert [r["nodes"] for r in rows] == [8, 32, 128, 512, 16, 128]
+    assert [r["switches"] for r in rows] == [6, 12, 24, 48, 20, 80]
+    save_result(
+        "table1", render_table(rows, title="Table 1: simulated network sizes")
+    )

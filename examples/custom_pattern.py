@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Extending the library: a custom traffic pattern and routing scheme.
+
+Shows the two extension points a downstream user needs:
+
+1. a new :class:`TrafficPattern` — here, a *neighbour-exchange*
+   pattern where node i alternates between PIDs i-1 and i+1 (a common
+   stencil-communication abstraction);
+2. a new :class:`RoutingScheme` — here, a *random-root* variant that
+   keeps MLID's multiple LIDs but picks the path offset by hashing the
+   (src, dst) pair instead of by source rank, then compares all three
+   schemes under both workloads.
+
+Run:  python examples/custom_pattern.py
+"""
+
+import numpy as np
+
+from repro import CentricPattern, SimConfig, build_subnet, verify_scheme
+from repro.core.forwarding import MlidScheme
+from repro.experiments.report import render_table
+from repro.topology.fattree import FatTree
+from repro.traffic.patterns import TrafficPattern
+
+
+class NeighbourExchangePattern(TrafficPattern):
+    """Node i sends alternately to (i-1) mod N and (i+1) mod N."""
+
+    def __init__(self, num_nodes: int):
+        super().__init__(num_nodes)
+        self._toggle = {}
+
+    def chooser(self, pid: int):
+        self._check_pid(pid)
+        n = self.num_nodes
+        left, right = (pid - 1) % n, (pid + 1) % n
+
+        def choose(_rng: np.random.Generator) -> int:
+            flip = self._toggle.get(pid, False)
+            self._toggle[pid] = not flip
+            return left if flip else right
+
+        return choose
+
+
+class HashedOffsetScheme(MlidScheme):
+    """MLID with a pair-hashed path offset.
+
+    Keeps the addressing and forwarding (Equations 1-2) untouched —
+    only path *selection* changes, which is exactly the degree of
+    freedom the LID set gives a host stack.
+    """
+
+    name = "mlid-hash"
+
+    def dlid(self, src, dst):
+        base = self.base_lid(dst)
+        alpha = 0
+        for a, b in zip(src, dst):
+            if a != b:
+                break
+            alpha += 1
+        paths = self.ft.half ** (self.ft.n - 1 - alpha) if alpha < self.ft.n - 1 else 1
+        h = hash((src, dst)) & 0x7FFFFFFF
+        return base + h % paths
+
+
+def main() -> None:
+    m, n = 8, 2
+    ft = FatTree(m, n)
+    hashed = HashedOffsetScheme(ft)
+    print(f"verifying {hashed.name} ...", end=" ")
+    print(f"{verify_scheme(hashed)} routes OK")
+
+    workloads = {
+        "neighbour": lambda nn: NeighbourExchangePattern(nn),
+        "centric50": lambda nn: CentricPattern(nn, hot_pid=0, fraction=0.5),
+    }
+    rows = []
+    for wname, factory in workloads.items():
+        for scheme in ("slid", "mlid", HashedOffsetScheme):
+            if isinstance(scheme, str):
+                sname, sarg = scheme, scheme
+            else:
+                sarg = scheme(FatTree(m, n))
+                sname = sarg.name
+            net = build_subnet(m, n, sarg, SimConfig(num_vls=1), seed=1)
+            net.attach_pattern(factory(net.num_nodes))
+            res = net.run_measurement(0.6, warmup_ns=15_000, measure_ns=60_000)
+            rows.append(
+                {
+                    "workload": wname,
+                    "scheme": sname,
+                    "accepted": res["accepted"],
+                    "latency_ns": res["latency_mean"],
+                }
+            )
+    print()
+    print(render_table(rows, title=f"FT({m},{n}), offered 0.6 bytes/ns/node"))
+    print("note: neighbour exchange is mostly intra-leaf, so schemes tie;")
+    print("      the hot-spot splits them, and hashed offsets track MLID.")
+
+
+if __name__ == "__main__":
+    main()

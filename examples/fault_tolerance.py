@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Operating a degraded fabric: link failures and SM reconfiguration.
+
+Ops scenario: a cable between a root and a leaf switch dies on a
+running cluster.  The subnet manager sweeps, recomputes the affected
+forwarding-table entries (routing *around* the dead link while keeping
+every untouched route on its original minimal path), and reprograms the
+switches.  This example shows:
+
+1. which routes the failure breaks and where they are re-routed;
+2. proof the repaired tables still deliver every (src, dst, LID) route;
+3. the performance cost, measured before/after on the simulator;
+4. what happens as more links die — until the fabric disconnects.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro import SimConfig, UniformPattern, build_subnet
+from repro.core.fault import DisconnectedError, FaultSet, FaultTolerantTables
+from repro.core.scheme import get_scheme
+from repro.core.verification import trace_path
+from repro.experiments.report import render_table
+from repro.topology.fattree import FatTree
+from repro.topology.labels import format_node, format_switch
+
+M, N = 8, 2
+
+
+def show_reroute() -> None:
+    ft = FatTree(M, N)
+    scheme = get_scheme("mlid", ft)
+    root = ft.switches_at_level(0)[0]
+    dead = (root, 0)  # root <0>'s link down to leaf <0>
+    peer = ft.peer(*dead)
+    print(f"failing link {format_switch(*root)}[0] <-> "
+          f"{format_switch(*peer.switch)}[{peer.port}]\n")
+
+    src, dst = (4, 0), (0, 0)  # a pair whose MLID route used that link
+    before = trace_path(scheme, src, dst)
+    print(f"before: {format_node(src)} -> {format_node(dst)} via "
+          + " -> ".join(format_switch(*sw) for sw in before.switches))
+
+    ftt = FaultTolerantTables(scheme, FaultSet.from_pairs(ft, [dead]))
+    after = ftt.trace(src, dst)
+    print(f"after : {format_node(src)} -> {format_node(dst)} via "
+          + " -> ".join(format_switch(*sw) for sw in after))
+    print(f"repaired {ftt.repaired_entries} forwarding-table entries\n")
+
+    # Exhaustive check: every (src, dst, LID) route still delivers.
+    routes = 0
+    for s in ft.nodes:
+        for d in ft.nodes:
+            if s == d:
+                continue
+            for lid in scheme.lid_set(d):
+                ftt.trace(s, d, dlid=lid)
+                routes += 1
+    print(f"verified {routes} repaired routes deliver correctly\n")
+
+
+def measure_degradation() -> None:
+    rows = []
+    for failures in (0, 1, 2, 4, 8):
+        ft = FatTree(M, N)
+        scheme = get_scheme("mlid", ft)
+        try:
+            ftt = FaultTolerantTables(
+                scheme, FaultSet.random(ft, failures, seed=9)
+            )
+        except DisconnectedError as exc:
+            rows.append({"failed links": failures, "status": f"DISCONNECTED ({exc})"})
+            continue
+        net = build_subnet(M, N, ftt.as_scheme(), SimConfig(num_vls=1), seed=1)
+        net.attach_pattern(UniformPattern(net.num_nodes))
+        res = net.run_measurement(0.3, warmup_ns=15_000, measure_ns=60_000)
+        rows.append(
+            {
+                "failed links": failures,
+                "status": "ok",
+                "repaired entries": ftt.repaired_entries,
+                "accepted": res["accepted"],
+                "latency_ns": res["latency_mean"],
+            }
+        )
+    print(render_table(rows, title="uniform traffic @ 0.3 on a degraded FT(8,2)"))
+
+
+def main() -> None:
+    show_reroute()
+    measure_degradation()
+
+
+if __name__ == "__main__":
+    main()

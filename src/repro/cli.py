@@ -1,0 +1,282 @@
+"""Command-line interface: ``python -m repro`` / ``repro-ibft``.
+
+Subcommands
+-----------
+``info M N``
+    Print the structural summary of FT(M, N): counts, LMC, LID plan.
+``table1``
+    Regenerate the paper's Table 1 (network sizes).
+``trace M N SRC DST [--scheme S]``
+    Trace the route between two nodes (labels as digit strings).
+``verify M N [--scheme S]``
+    Exhaustively verify a scheme's forwarding tables.
+``figure ID [--quick/--full] [--csv PATH]``
+    Regenerate one of the paper's figures (fig12 … fig19).
+``draw M N``
+    ASCII diagram of the fat-tree.
+``probe M N [--scheme S] [--pattern P] [--load L]``
+    Run a short simulation and print the fabric heat report.
+``faults M N COUNT [--scheme S] [--seed K]``
+    Fail COUNT random links, repair the tables, verify every route.
+``list``
+    List the available experiments, schemes and patterns.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import available_schemes, get_scheme, trace_path, verify_scheme
+from repro.core.addressing import MlidAddressing
+from repro.experiments import (
+    all_experiments,
+    get_experiment,
+    render_figure_result,
+    render_table,
+    run_figure,
+    to_csv,
+)
+from repro.topology import FatTree
+from repro.topology.labels import format_node, format_switch
+from repro.traffic import available_patterns
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_label(text: str, n: int) -> tuple:
+    digits = tuple(int(ch) for ch in text.strip())
+    if len(digits) != n:
+        raise SystemExit(f"label {text!r} must have exactly {n} digits")
+    return digits
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    ft = FatTree(args.m, args.n)
+    try:
+        addr = MlidAddressing(args.m, args.n)
+        lmc, lids = addr.lmc, addr.num_lids
+    except ValueError as exc:
+        lmc, lids = None, str(exc)
+    print(f"FT({args.m}, {args.n})")
+    print(f"  processing nodes : {ft.num_nodes}")
+    print(f"  switches         : {ft.num_switches}")
+    print(f"  height           : {ft.height}")
+    print(f"  switch levels    : {ft.n} (0 = root row)")
+    print(f"  MLID LMC         : {lmc}")
+    print(f"  MLID LIDs        : {lids}")
+    return 0
+
+
+def _cmd_table1(_args: argparse.Namespace) -> int:
+    rows = []
+    for (m, n) in [(4, 2), (8, 2), (16, 2), (32, 2), (4, 3), (8, 3)]:
+        ft = FatTree(m, n)
+        addr = MlidAddressing(m, n)
+        rows.append(
+            {
+                "m": m,
+                "n": n,
+                "nodes": ft.num_nodes,
+                "switches": ft.num_switches,
+                "LMC": addr.lmc,
+                "LIDs/node": addr.lids_per_node,
+                "total LIDs": addr.num_lids,
+            }
+        )
+    print(render_table(rows, title="Table 1: simulated network sizes"))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    ft = FatTree(args.m, args.n)
+    scheme = get_scheme(args.scheme, ft)
+    src = _parse_label(args.src, args.n)
+    dst = _parse_label(args.dst, args.n)
+    trace = trace_path(scheme, src, dst)
+    print(
+        f"{args.scheme.upper()} route {format_node(src)} -> {format_node(dst)} "
+        f"(DLID {trace.dlid}):"
+    )
+    for sw, port in zip(trace.switches, trace.ports):
+        print(f"  {format_switch(*sw)} out port {port} (physical {port + 1})")
+    print(f"  hops: {trace.hops}, turns at {format_switch(*trace.turn)}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    ft = FatTree(args.m, args.n)
+    scheme = get_scheme(args.scheme, ft)
+    checked = verify_scheme(scheme)
+    print(
+        f"{args.scheme.upper()} on FT({args.m}, {args.n}): "
+        f"{checked} routes verified (delivery, minimality, up*/down*)"
+    )
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    config = get_experiment(args.id)
+    if config.m == 0:
+        raise SystemExit(f"{args.id} is not a simulated figure; see `repro-ibft list`")
+    print(config.describe())
+    result = run_figure(config, quick=not args.full)
+    print(render_figure_result(result))
+    if args.csv:
+        rows = [p.as_row() for pts in result.curves.values() for p in pts]
+        with open(args.csv, "w", encoding="utf-8") as fh:
+            fh.write(to_csv(rows))
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_draw(args: argparse.Namespace) -> int:
+    from repro.topology.render import render_fattree
+
+    print(render_fattree(FatTree(args.m, args.n), max_cells=args.max_cells))
+    return 0
+
+
+def _cmd_probe(args: argparse.Namespace) -> int:
+    from repro.ib.config import SimConfig
+    from repro.ib.instrumentation import probe_fabric, routing_pressure
+    from repro.ib.subnet import build_subnet
+    from repro.traffic import make_pattern
+
+    net = build_subnet(args.m, args.n, args.scheme, SimConfig(num_vls=args.vls))
+    kwargs = {"hot_pid": 0, "fraction": 0.5} if args.pattern == "centric" else {}
+    net.attach_pattern(make_pattern(args.pattern, net.num_nodes, **kwargs))
+    res = net.run_measurement(args.load, warmup_ns=15_000, measure_ns=60_000)
+    print(
+        f"{args.scheme.upper()} on FT({args.m},{args.n}), {args.pattern} @ "
+        f"{args.load}: accepted {res['accepted']:.4f} bytes/ns/node, "
+        f"latency {res['latency_mean']:.0f} ns"
+    )
+    report = probe_fabric(net)
+    print(render_table(report.layer_stats(), title="\nutilization by layer"))
+    print("hottest channels:")
+    for link in report.hottest(5):
+        print(f"  {link.name:34s} {link.utilization:6.1%}  {link.packets} pkts")
+    hot_switch, pressure = routing_pressure(net)[0]
+    print(
+        f"busiest routing engine: {format_switch(*hot_switch)} at "
+        f"{pressure:.1%} occupancy"
+    )
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.core.fault import DisconnectedError, FaultSet, FaultTolerantTables
+
+    ft = FatTree(args.m, args.n)
+    scheme = get_scheme(args.scheme, ft)
+    faults = FaultSet.random(ft, args.count, seed=args.seed)
+    print(f"failing {len(faults)} random links (seed {args.seed}):")
+    for link in sorted(faults.links, key=str):
+        (a, ap), (b, bp) = sorted(link, key=str)
+        print(f"  {format_switch(*a)}[{ap}] <-> {format_switch(*b)}[{bp}]")
+    try:
+        ftt = FaultTolerantTables(scheme, faults)
+    except DisconnectedError as exc:
+        print(f"FABRIC DISCONNECTED: {exc}")
+        return 1
+    routes = 0
+    for src in ft.nodes:
+        for dst in ft.nodes:
+            if src == dst:
+                continue
+            for lid in scheme.lid_set(dst):
+                ftt.trace(src, dst, dlid=lid)
+                routes += 1
+    print(
+        f"repaired {ftt.repaired_entries} LFT entries; verified "
+        f"{routes} routes deliver on the degraded fabric"
+    )
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("experiments:")
+    for exp_id, cfg in sorted(all_experiments().items()):
+        print(f"  {exp_id:22s} {cfg.title}")
+    print(f"schemes : {', '.join(available_schemes())}")
+    print(f"patterns: {', '.join(available_patterns())}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-ibft",
+        description="Multiple LID routing for fat-tree InfiniBand (IPDPS 2004 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="structural summary of FT(m, n)")
+    p.add_argument("m", type=int)
+    p.add_argument("n", type=int)
+    p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser("table1", help="regenerate the paper's Table 1")
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser("trace", help="trace a route between two nodes")
+    p.add_argument("m", type=int)
+    p.add_argument("n", type=int)
+    p.add_argument("src", help="source label, e.g. 000")
+    p.add_argument("dst", help="destination label, e.g. 300")
+    p.add_argument("--scheme", default="mlid", choices=["mlid", "slid"])
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("verify", help="verify a scheme's forwarding tables")
+    p.add_argument("m", type=int)
+    p.add_argument("n", type=int)
+    p.add_argument("--scheme", default="mlid", choices=["mlid", "slid"])
+    p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure")
+    p.add_argument("id", help="figure id, e.g. fig13")
+    p.add_argument(
+        "--full",
+        action="store_true",
+        help="full load grid and windows (slow; default is the quick grid)",
+    )
+    p.add_argument("--csv", help="also write the points to a CSV file")
+    p.set_defaults(func=_cmd_figure)
+
+    p = sub.add_parser("draw", help="ASCII diagram of FT(m, n)")
+    p.add_argument("m", type=int)
+    p.add_argument("n", type=int)
+    p.add_argument("--max-cells", type=int, default=16)
+    p.set_defaults(func=_cmd_draw)
+
+    p = sub.add_parser("probe", help="simulate briefly and print a heat report")
+    p.add_argument("m", type=int)
+    p.add_argument("n", type=int)
+    p.add_argument("--scheme", default="mlid")
+    p.add_argument("--pattern", default="uniform")
+    p.add_argument("--load", type=float, default=0.3)
+    p.add_argument("--vls", type=int, default=1)
+    p.set_defaults(func=_cmd_probe)
+
+    p = sub.add_parser("faults", help="repair tables around random link failures")
+    p.add_argument("m", type=int)
+    p.add_argument("n", type=int)
+    p.add_argument("count", type=int, help="number of random failed links")
+    p.add_argument("--scheme", default="mlid", choices=["mlid", "slid"])
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_faults)
+
+    p = sub.add_parser("list", help="list experiments, schemes, patterns")
+    p.set_defaults(func=_cmd_list)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""The paper's contribution: the Multiple LID (MLID) routing scheme.
+
+Three cooperating pieces (Section 4 of the paper):
+
+* :mod:`repro.core.addressing` — the processing-node addressing scheme
+  (LMC, BaseLID, LIDset);
+* :mod:`repro.core.path_selection` — the path-selection scheme (which
+  DLID a source uses for a destination);
+* :mod:`repro.core.forwarding` — the forwarding-table assignment
+  scheme (Equations 1 and 2).
+
+Plus the Single LID (SLID) baseline (:mod:`repro.core.slid`), a common
+:class:`~repro.core.scheme.RoutingScheme` interface, and static
+verification tooling (:mod:`repro.core.verification`) that traces every
+path a scheme produces and checks reachability, minimality and
+deadlock-freedom without running the simulator.
+"""
+
+from repro.core.addressing import MlidAddressing, lmc_for, max_lid
+from repro.core.path_selection import select_dlid
+from repro.core.forwarding import MlidScheme, build_mlid_tables
+from repro.core.slid import SlidScheme, build_slid_tables
+from repro.core.extensions import HashedMlidScheme, DestStaggeredMlidScheme
+from repro.core.fault import FaultSet, FaultTolerantTables, DisconnectedError
+from repro.core.updown import UpDownScheme
+from repro.core.scheme import RoutingScheme, get_scheme, available_schemes
+from repro.core.verification import (
+    PathTrace,
+    RoutingError,
+    trace_path,
+    verify_scheme,
+    lca_usage,
+)
+
+__all__ = [
+    "MlidAddressing",
+    "lmc_for",
+    "max_lid",
+    "select_dlid",
+    "MlidScheme",
+    "build_mlid_tables",
+    "SlidScheme",
+    "build_slid_tables",
+    "HashedMlidScheme",
+    "DestStaggeredMlidScheme",
+    "FaultSet",
+    "FaultTolerantTables",
+    "DisconnectedError",
+    "UpDownScheme",
+    "RoutingScheme",
+    "get_scheme",
+    "available_schemes",
+    "PathTrace",
+    "RoutingError",
+    "trace_path",
+    "verify_scheme",
+    "lca_usage",
+]

@@ -1,0 +1,136 @@
+"""The processing-node addressing scheme (Section 4.1).
+
+Every processing node of IBFT(m, n) receives ``2^LMC`` consecutive
+LIDs, where
+
+* ``LMC = (n - 1) * log2(m/2)`` — so ``2^LMC = (m/2)^(n-1)``, the
+  number of distinct minimal paths between nodes with no common
+  prefix (one per root switch reachable from a source);
+* ``BaseLID(P(p)) = PID(P(p)) * 2^LMC + 1``;
+* ``LIDset(P(p)) = {BaseLID, …, BaseLID + 2^LMC - 1}``.
+
+LID 0 is never assigned (IBA reserves it for the permissive LID
+semantics); the ``+1`` keeps the space dense starting at 1, exactly as
+in the paper's Figure 10 example where ``BaseLID(P(010)) = 9`` in a
+4-port 3-tree (PID 2, LMC 2 → 2*4+1 = 9).
+
+IBA constrains ``LMC ≤ 7`` (a 3-bit field, at most 2^7 = 128 paths) and
+LIDs to 16 bits; :func:`lmc_for` and :class:`MlidAddressing` enforce
+both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology import groups
+from repro.topology.labels import NodeLabel, check_arity
+
+__all__ = [
+    "IBA_MAX_LMC",
+    "IBA_MAX_LID",
+    "lmc_for",
+    "max_lid",
+    "MlidAddressing",
+]
+
+#: IBA's LMC field is 3 bits: at most 2^7 sequential LIDs per endport.
+IBA_MAX_LMC = 7
+#: LIDs are 16-bit; values above 0xBFFF are multicast, so unicast
+#: assignment must stay below 0xC000.  We enforce the unicast ceiling.
+IBA_MAX_LID = 0xBFFF
+
+
+def lmc_for(m: int, n: int, *, strict_iba: bool = True) -> int:
+    """The LMC value MLID assigns in FT(m, n): ``(n-1) * log2(m/2)``.
+
+    With ``strict_iba`` (default) raises ``ValueError`` when the
+    topology needs more paths than IBA's 3-bit LMC can express.
+    """
+    check_arity(m, n)
+    half = m // 2
+    lmc = (n - 1) * (half.bit_length() - 1)
+    if strict_iba and lmc > IBA_MAX_LMC:
+        raise ValueError(
+            f"FT({m}, {n}) needs LMC={lmc} > IBA maximum {IBA_MAX_LMC}; "
+            "pass strict_iba=False to model it anyway"
+        )
+    return lmc
+
+
+def max_lid(m: int, n: int, *, strict_iba: bool = True) -> int:
+    """Largest LID the MLID scheme assigns in FT(m, n)."""
+    lmc = lmc_for(m, n, strict_iba=strict_iba)
+    top = groups.num_nodes(m, n) * (1 << lmc)
+    if strict_iba and top > IBA_MAX_LID:
+        raise ValueError(
+            f"FT({m}, {n}) needs LIDs up to {top} > unicast ceiling {IBA_MAX_LID}"
+        )
+    return top
+
+
+@dataclass(frozen=True)
+class MlidAddressing:
+    """The MLID address plan for one IBFT(m, n) subnet.
+
+    Examples
+    --------
+    >>> addr = MlidAddressing(4, 3)
+    >>> addr.lmc, addr.lids_per_node
+    (2, 4)
+    >>> addr.base_lid((0, 1, 0))
+    9
+    >>> addr.lid_set((0, 1, 0))
+    range(9, 13)
+    """
+
+    m: int
+    n: int
+    strict_iba: bool = True
+
+    def __post_init__(self) -> None:
+        # Triggers validation of (m, n) and the IBA limits.
+        max_lid(self.m, self.n, strict_iba=self.strict_iba)
+
+    @property
+    def lmc(self) -> int:
+        """LID Mask Control value assigned to every endport."""
+        return lmc_for(self.m, self.n, strict_iba=self.strict_iba)
+
+    @property
+    def lids_per_node(self) -> int:
+        """``2^LMC`` LIDs per processing node."""
+        return 1 << self.lmc
+
+    @property
+    def num_lids(self) -> int:
+        """Total LIDs assigned across the subnet."""
+        return groups.num_nodes(self.m, self.n) * self.lids_per_node
+
+    def base_lid(self, p: NodeLabel) -> int:
+        """``BaseLID(P(p)) = PID * 2^LMC + 1``."""
+        return groups.pid(self.m, self.n, p) * self.lids_per_node + 1
+
+    def lid_set(self, p: NodeLabel) -> range:
+        """The contiguous LID range assigned to node ``p``."""
+        base = self.base_lid(p)
+        return range(base, base + self.lids_per_node)
+
+    def owner(self, lid: int) -> NodeLabel:
+        """The node owning a LID (any member of its LIDset)."""
+        pid_val, _ = self.split(lid)
+        return groups.node_from_pid(self.m, self.n, pid_val)
+
+    def split(self, lid: int) -> tuple[int, int]:
+        """Decompose a LID into ``(PID, path offset)``.
+
+        The offset is the position within the node's LIDset and encodes
+        the chosen least common ancestor.
+        """
+        if not 1 <= lid <= self.num_lids:
+            raise ValueError(f"LID must be in [1, {self.num_lids}], got {lid}")
+        return divmod(lid - 1, self.lids_per_node)
+
+    def all_lids(self) -> range:
+        """Every assigned LID, 1 … num_lids."""
+        return range(1, self.num_lids + 1)

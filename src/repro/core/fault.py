@@ -1,0 +1,351 @@
+"""Fault-tolerant forwarding: routing around failed links.
+
+The paper notes that after initialization "the packet routing behavior
+is fixed unless a subnet reconfiguration or … the subnet manager
+re-assigns forwarding table for each switch".  This module implements
+that reconfiguration for IBFT(m, n): given a set of failed links,
+recompute every broken LFT entry so the subnet stays connected and
+deadlock-free while unaffected routes keep their original (balanced,
+minimal) paths.
+
+Approach
+--------
+Fat-tree routes are up*/down*: ascend, turn once, descend.  For each
+destination we compute, over the *surviving* links,
+
+* the **descent cone** — switches that can still reach the
+  destination's leaf using only down links (``down_cost``), and
+* for every other switch, the cheapest up move into the cone
+  (``up_cost``), since a packet outside the cone must keep ascending.
+
+Each switch's repaired entry is its cost-minimal out-port; ties prefer
+the scheme's original port (preserving the paper's balancing wherever
+possible) and otherwise rotate by the DLID so repaired traffic spreads
+over equivalent survivors.  Repaired routes stay up*/down*, hence
+deadlock-free (the channel ordering argument is unchanged), though no
+longer always minimal.
+
+Failures that disconnect a destination (every path gone — e.g. a
+node's only leaf link) raise :class:`DisconnectedError`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.core.scheme import RoutingScheme
+from repro.topology.fattree import FatTree
+from repro.topology.labels import SwitchLabel, format_switch
+
+__all__ = ["LinkId", "FaultSet", "DisconnectedError", "FaultTolerantTables"]
+
+#: A link is identified by its two (switch, 0-based port) endpoints.
+LinkId = FrozenSet[Tuple[SwitchLabel, int]]
+
+
+class DisconnectedError(RuntimeError):
+    """The fault set disconnects part of the fabric."""
+
+
+def link_id(a: SwitchLabel, a_port: int, b: SwitchLabel, b_port: int) -> LinkId:
+    return frozenset([(a, a_port), (b, b_port)])
+
+
+@dataclass(frozen=True)
+class FaultSet:
+    """Failed switch-to-switch links of one fabric.
+
+    Node-to-leaf links are deliberately excluded: losing one
+    disconnects the node outright, which no routing can repair (the
+    constructors reject them).  Build with :meth:`from_pairs` or
+    :meth:`random`.
+    """
+
+    links: FrozenSet[LinkId] = frozenset()
+
+    @classmethod
+    def from_pairs(
+        cls, ft: FatTree, pairs: Iterable[Tuple[SwitchLabel, int]]
+    ) -> "FaultSet":
+        """Fail the links leaving the given (switch, 0-based port)s."""
+        links: Set[LinkId] = set()
+        for sw, port in pairs:
+            ep = ft.peer(sw, port)
+            if not ep.is_switch:
+                raise ValueError(
+                    f"{format_switch(*sw)} port {port} attaches a node; "
+                    "node links cannot be routed around"
+                )
+            links.add(link_id(sw, port, ep.switch, ep.port))
+        return cls(links=frozenset(links))
+
+    @classmethod
+    def random(cls, ft: FatTree, count: int, seed: int = 0) -> "FaultSet":
+        """Fail ``count`` distinct random switch-to-switch links."""
+        import numpy as np
+
+        all_links: List[LinkId] = []
+        seen: Set[LinkId] = set()
+        for sw in ft.switches:
+            for port, ep in enumerate(ft.ports(sw)):
+                if ep.is_switch:
+                    lid = link_id(sw, port, ep.switch, ep.port)
+                    if lid not in seen:
+                        seen.add(lid)
+                        all_links.append(lid)
+        if count > len(all_links):
+            raise ValueError(
+                f"only {len(all_links)} switch links exist, asked for {count}"
+            )
+        rng = np.random.default_rng(seed)
+        chosen = rng.choice(len(all_links), size=count, replace=False)
+        return cls(links=frozenset(all_links[i] for i in chosen))
+
+    def is_failed(self, sw: SwitchLabel, port: int) -> bool:
+        """Is the link out of (sw, 0-based port) failed?"""
+        for link in self.links:
+            if (sw, port) in link:
+                return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self.links)
+
+
+class FaultTolerantTables:
+    """Repaired forwarding tables for a scheme under a fault set."""
+
+    def __init__(self, scheme: RoutingScheme, faults: FaultSet):
+        self.scheme = scheme
+        self.faults = faults
+        self.ft: FatTree = scheme.ft
+        self._failed_ports: Set[Tuple[SwitchLabel, int]] = {
+            endpoint for link in faults.links for endpoint in link
+        }
+        # tables[sw][lid - 1] -> 0-based out port
+        self.tables: Dict[SwitchLabel, List[int]] = scheme.build_tables()
+        self.repaired_entries = 0
+        self._repair()
+
+    # ------------------------------------------------------------------
+    def _alive(self, sw: SwitchLabel, port: int) -> bool:
+        return (sw, port) not in self._failed_ports
+
+    def _repair(self) -> None:
+        ft = self.ft
+        for dst_pid in range(ft.num_nodes):
+            dst = ft.node_from_pid(dst_pid)
+            down_cost, up_cost, best_port = self._costs_for(dst)
+            # Connectivity: every leaf (traffic entry point) must still
+            # reach the destination.
+            for leaf in ft.switches_at_level(ft.n - 1):
+                if (
+                    down_cost.get(leaf, math.inf) == math.inf
+                    and up_cost.get(leaf, math.inf) == math.inf
+                ):
+                    raise DisconnectedError(
+                        f"{format_switch(*leaf)} cannot reach node {dst} "
+                        f"under {len(self.faults)} failed links"
+                    )
+            for lid in self.scheme.lid_set(dst):
+                for sw in ft.switches:
+                    entry = self.tables[sw][lid - 1]
+                    if self._entry_ok(sw, entry, down_cost, up_cost):
+                        continue
+                    self.tables[sw][lid - 1] = self._choose_port(
+                        sw, lid, down_cost, up_cost, best_port
+                    )
+                    self.repaired_entries += 1
+
+    def _entry_ok(
+        self,
+        sw: SwitchLabel,
+        entry: int,
+        down_cost: Dict[SwitchLabel, float],
+        up_cost: Dict[SwitchLabel, float],
+    ) -> bool:
+        """Original entry survives iff its link is alive and its next
+        hop can still make progress toward the destination."""
+        if not self._alive(sw, entry):
+            return False
+        ep = self.ft.peer(sw, entry)
+        if ep.is_node:
+            return True
+        peer = ep.switch
+        if peer[1] == sw[1] + 1:  # down move: must stay in the cone
+            return down_cost.get(peer, math.inf) < math.inf
+        # Up move: the parent must still have a finite route (directly
+        # in the cone, or able to keep ascending elsewhere).
+        return (
+            down_cost.get(peer, math.inf) < math.inf
+            or up_cost.get(peer, math.inf) < math.inf
+        )
+
+    # ------------------------------------------------------------------
+    def _costs_for(self, dst) -> tuple:
+        """Down-cone and ascent costs toward one destination."""
+        ft = self.ft
+        leaf = ft.node_attachment(dst).switch
+        down_cost: Dict[SwitchLabel, float] = {leaf: 0.0}
+        # The descent cone grows level by level upward: a switch is in
+        # the cone if some *alive* down link reaches a cone member.
+        for level in range(ft.n - 2, -1, -1):
+            for sw in ft.switches_at_level(level):
+                best = math.inf
+                for port in ft.down_ports(sw):
+                    if not self._alive(sw, port):
+                        continue
+                    ep = ft.peer(sw, port)
+                    if ep.is_switch and ep.switch in down_cost:
+                        best = min(best, 1.0 + down_cost[ep.switch])
+                if best < math.inf:
+                    down_cost[sw] = best
+
+        # Ascent costs: switches outside the cone reach it by going up.
+        # Process leaf-to-root is wrong here — ascending moves go to
+        # lower levels, so iterate levels bottom-up with relaxation
+        # until stable (paths may chain multiple ups).
+        up_cost: Dict[SwitchLabel, float] = {}
+        best_port: Dict[SwitchLabel, List[int]] = {}
+
+        def target_cost(sw: SwitchLabel) -> float:
+            if sw in down_cost:
+                return down_cost[sw]
+            return up_cost.get(sw, math.inf)
+
+        changed = True
+        while changed:
+            changed = False
+            for sw in ft.switches:
+                if sw in down_cost:
+                    continue
+                best = math.inf
+                ports: List[int] = []
+                for port in ft.up_ports(sw):
+                    if not self._alive(sw, port):
+                        continue
+                    ep = ft.peer(sw, port)
+                    cost = 1.0 + target_cost(ep.switch)
+                    if cost < best - 1e-9:
+                        best, ports = cost, [port]
+                    elif abs(cost - best) <= 1e-9:
+                        ports.append(port)
+                if best < up_cost.get(sw, math.inf) - 1e-9:
+                    up_cost[sw] = best
+                    best_port[sw] = ports
+                    changed = True
+
+        # For cone members, the candidate down ports.
+        for sw, cost in down_cost.items():
+            if cost == 0.0:
+                continue
+            ports = []
+            for port in ft.down_ports(sw):
+                if not self._alive(sw, port):
+                    continue
+                ep = ft.peer(sw, port)
+                if (
+                    ep.is_switch
+                    and down_cost.get(ep.switch, math.inf) + 1.0 == cost
+                ):
+                    ports.append(port)
+            best_port[sw] = ports
+        return down_cost, up_cost, best_port
+
+    def _choose_port(
+        self,
+        sw: SwitchLabel,
+        lid: int,
+        down_cost: Dict[SwitchLabel, float],
+        up_cost: Dict[SwitchLabel, float],
+        best_port: Dict[SwitchLabel, List[int]],
+    ) -> int:
+        if sw in down_cost and down_cost[sw] == 0.0:
+            # Destination's own leaf: the node link must be alive (node
+            # links are never failed by construction).
+            dst = self.scheme.owner(lid)
+            return dst[self.ft.n - 1]
+        candidates = best_port.get(sw, [])
+        if not candidates:
+            # This switch can no longer reach the destination at all.
+            # Leaves were checked in _repair, so traffic for this LID
+            # can never arrive here; park the entry on any alive port
+            # (the LFT format requires a valid port number).
+            for port in range(self.ft.m):
+                if self._alive(sw, port):
+                    return port
+            return 0  # fully dead switch: entry value is unreachable
+        # Rotate among equal-cost survivors by DLID to keep spreading.
+        return candidates[(lid - 1) % len(candidates)]
+
+    # ------------------------------------------------------------------
+    def output_port(self, sw: SwitchLabel, lid: int) -> int:
+        """Repaired 0-based out port (same surface as RoutingScheme)."""
+        return self.tables[sw][lid - 1]
+
+    def trace(self, src, dst, dlid: Optional[int] = None) -> List[SwitchLabel]:
+        """Walk the repaired tables from src to dst.
+
+        Returns the switch sequence; raises if the route crosses a
+        failed link, exceeds the repaired-length bound, or delivers to
+        the wrong node.  Repaired routes may be non-minimal: each
+        detour adds at most two hops, so the bound is
+        ``2n + 2 * len(faults) + 2``.
+        """
+        ft = self.ft
+        if dlid is None:
+            dlid = self.scheme.dlid(src, dst)
+        current = ft.node_attachment(src).switch
+        path: List[SwitchLabel] = []
+        max_hops = 2 * ft.n + 2 * len(self.faults) + 2
+        for _ in range(max_hops):
+            path.append(current)
+            port = self.output_port(current, dlid)
+            if not self._alive(current, port):
+                raise RuntimeError(
+                    f"repaired route crosses failed link at "
+                    f"{format_switch(*current)} port {port}"
+                )
+            ep = ft.peer(current, port)
+            if ep.is_node:
+                if ep.node != dst:
+                    raise RuntimeError(
+                        f"repaired route delivered to {ep.node}, "
+                        f"expected {dst}"
+                    )
+                return path
+            current = ep.switch
+        raise RuntimeError(
+            f"repaired route from {src} to {dst} (DLID {dlid}) exceeded "
+            f"{max_hops} switch hops"
+        )
+
+    def as_scheme(self) -> RoutingScheme:
+        """Wrap the repaired tables as a RoutingScheme for the subnet
+        builder and the verifier (path selection stays the scheme's)."""
+        return _RepairedScheme(self)
+
+
+class _RepairedScheme(RoutingScheme):
+    """RoutingScheme facade over repaired tables."""
+
+    def __init__(self, ftt: FaultTolerantTables):
+        super().__init__(ftt.ft)
+        self._ftt = ftt
+        self._base = ftt.scheme
+        self.name = f"{ftt.scheme.name}+repair"
+
+    @property
+    def lmc(self) -> int:
+        return self._base.lmc
+
+    def base_lid(self, node):
+        return self._base.base_lid(node)
+
+    def dlid(self, src, dst):
+        return self._base.dlid(src, dst)
+
+    def output_port(self, switch, lid):
+        return self._ftt.output_port(switch, lid)

@@ -1,0 +1,76 @@
+"""The path-selection scheme (Section 4.2).
+
+For a packet from source ``P(p)`` to destination ``P(p')`` with
+``α = |gcp(P(p), P(p'))|``:
+
+* Both nodes lie in ``gcpg(x, α)`` but in *different* child groups
+  ``gcpg(x·p_α, α+1)`` and ``gcpg(x·p'_α, α+1)``.
+* There are exactly ``(m/2)^(n-1-α)`` minimal paths between them — one
+  per least common ancestor — and the same number of sources in the
+  source's child group is ``(m/2)^(n-α-1)``... more precisely the
+  *ranks* in the child group range over ``0 … (m/2)^(n-α-1) - 1`` (for
+  α ≥ 1; see below for α = 0).
+* The source with rank ``r`` in its child group selects
+  ``DLID = BaseLID(P(p')) + (r mod 2^LMC_α)`` where
+  ``2^LMC_α = (m/2)^(n-1-α)`` is the path count.
+
+The ``mod`` matters only for ``α = 0``: the child group
+``gcpg((p_0,), 1)`` has ``(m/2)^(n-1)`` members, exactly the path
+count, so ranks map one-to-one onto offsets; the paper states the
+plain one-to-one mapping.  For ``α ≥ 1`` the child group has
+``(m/2)^(n-α-1)`` members but there are ``(m/2)^(n-1-α)`` paths —
+the same number — so again one-to-one.  For nodes attached to the same
+leaf switch (α ≥ n-1) there is a single path and the base LID is used.
+
+This gives the key property the forwarding scheme exploits: *when all
+members of one sibling group send to the same destination, each uses a
+distinct DLID and therefore a distinct least common ancestor*, so the
+flows share no ascending or descending link (they only meet on the
+terminal link into the destination).
+"""
+
+from __future__ import annotations
+
+from repro.core.addressing import MlidAddressing
+from repro.topology import groups
+from repro.topology.labels import NodeLabel, validate_node_label
+
+__all__ = ["select_dlid", "path_offset"]
+
+
+def path_offset(m: int, n: int, src: NodeLabel, dst: NodeLabel) -> int:
+    """The path-selection offset into the destination's LIDset.
+
+    ``rank(gcpg(p[:α+1], α+1), src) mod (m/2)^(n-1-α)`` — the rank of
+    the source within its sibling group at the divergence level,
+    reduced modulo the number of available paths.
+    """
+    validate_node_label(m, n, src)
+    validate_node_label(m, n, dst)
+    if src == dst:
+        raise ValueError(f"no path selection for src == dst == {src!r}")
+    alpha = groups.gcp_length(src, dst)
+    if alpha >= n - 1:
+        # Same leaf switch (or adjacent digits): unique path, base LID.
+        return 0
+    paths = (m // 2) ** (n - 1 - alpha)
+    rank = groups.rank_in_gcpg(m, n, alpha + 1, src)
+    return rank % paths
+
+
+def select_dlid(addr: MlidAddressing, src: NodeLabel, dst: NodeLabel) -> int:
+    """The DLID source ``src`` writes into packets destined to ``dst``.
+
+    Examples
+    --------
+    In the paper's Figure 11 (4-port 3-tree), the four members of
+    gcpg(0, 1) sending to P(100) pick the four members of P(100)'s
+    LIDset in rank order:
+
+    >>> addr = MlidAddressing(4, 3)
+    >>> [select_dlid(addr, s, (1, 0, 0)) for s in
+    ...  [(0, 0, 0), (0, 0, 1), (0, 1, 0), (0, 1, 1)]]
+    [17, 18, 19, 20]
+    """
+    offset = path_offset(addr.m, addr.n, src, dst)
+    return addr.base_lid(dst) + offset

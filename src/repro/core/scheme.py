@@ -1,0 +1,137 @@
+"""Common interface for routing schemes on IBFT(m, n).
+
+A :class:`RoutingScheme` bundles everything the Subnet Manager needs to
+program a subnet and everything an endnode needs to address packets:
+
+* the LID plan (how many LIDs per node, who owns which LID),
+* the DLID a source uses for a destination (path selection), and
+* the forwarding decision ``output_port(switch, lid)`` from which the
+  per-switch linear forwarding tables are built.
+
+Port numbers returned by ``output_port`` are the paper's 0-based ``k``;
+the IB layer shifts to physical ``k + 1``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.topology.fattree import FatTree
+from repro.topology.labels import NodeLabel, SwitchLabel
+
+__all__ = ["RoutingScheme", "register_scheme", "get_scheme", "available_schemes"]
+
+
+class RoutingScheme(ABC):
+    """Abstract routing scheme over a constructed :class:`FatTree`."""
+
+    #: short identifier used in registries, configs and reports
+    name: str = "abstract"
+
+    def __init__(self, ft: FatTree):
+        self.ft = ft
+
+    # -- LID plan ------------------------------------------------------
+    @property
+    @abstractmethod
+    def lmc(self) -> int:
+        """LMC value assigned to every endport."""
+
+    @property
+    def lids_per_node(self) -> int:
+        return 1 << self.lmc
+
+    @property
+    def num_lids(self) -> int:
+        """Highest assigned LID (LIDs are 1 … num_lids, dense)."""
+        return self.ft.num_nodes * self.lids_per_node
+
+    @abstractmethod
+    def base_lid(self, node: NodeLabel) -> int:
+        """First LID of a node's LIDset."""
+
+    def lid_set(self, node: NodeLabel) -> range:
+        base = self.base_lid(node)
+        return range(base, base + self.lids_per_node)
+
+    def owner_pid(self, lid: int) -> int:
+        """PID of the node owning ``lid``."""
+        if not 1 <= lid <= self.num_lids:
+            raise ValueError(f"LID must be in [1, {self.num_lids}], got {lid}")
+        return (lid - 1) >> self.lmc
+
+    def owner(self, lid: int) -> NodeLabel:
+        """Label of the node owning ``lid``."""
+        return self.ft.node_from_pid(self.owner_pid(lid))
+
+    # -- path selection ------------------------------------------------
+    @abstractmethod
+    def dlid(self, src: NodeLabel, dst: NodeLabel) -> int:
+        """The DLID ``src`` writes into packets for ``dst``."""
+
+    def dlid_matrix(self) -> np.ndarray:
+        """Dense (num_nodes x num_nodes) DLID table, 0 on the diagonal.
+
+        The generic implementation loops over :meth:`dlid`; schemes
+        with closed forms override it with vectorized versions (the
+        512-node subnet build is dominated by this step otherwise).
+        """
+        nodes = self.ft.nodes
+        n = len(nodes)
+        out = np.zeros((n, n), dtype=np.int64)
+        for s, src in enumerate(nodes):
+            for d, dst in enumerate(nodes):
+                if s != d:
+                    out[s, d] = self.dlid(src, dst)
+        return out
+
+    # -- forwarding ----------------------------------------------------
+    @abstractmethod
+    def output_port(self, switch: SwitchLabel, lid: int) -> int:
+        """0-based output port ``k`` for DLID ``lid`` at ``switch``."""
+
+    def build_tables(self) -> Dict[SwitchLabel, List[int]]:
+        """Materialize every switch's linear forwarding table.
+
+        ``tables[switch][lid - 1]`` is the 0-based output port.
+        """
+        return {
+            s: [self.output_port(s, lid) for lid in range(1, self.num_lids + 1)]
+            for s in self.ft.switches
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(FT({self.ft.m}, {self.ft.n}), "
+            f"lmc={self.lmc})"
+        )
+
+
+_REGISTRY: Dict[str, Callable[[FatTree], RoutingScheme]] = {}
+
+
+def register_scheme(name: str, factory: Callable[[FatTree], RoutingScheme]) -> None:
+    """Register a scheme factory under ``name`` (case-insensitive)."""
+    key = name.lower()
+    if key in _REGISTRY:
+        raise ValueError(f"scheme {name!r} already registered")
+    _REGISTRY[key] = factory
+
+
+def get_scheme(name: str, ft: FatTree) -> RoutingScheme:
+    """Instantiate a registered scheme ('mlid' or 'slid') on ``ft``."""
+    try:
+        factory = _REGISTRY[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheme {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(ft)
+
+
+def available_schemes() -> List[str]:
+    """Names of all registered schemes."""
+    return sorted(_REGISTRY)

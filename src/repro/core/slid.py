@@ -1,0 +1,100 @@
+"""The Single LID (SLID) baseline scheme (Section 5 of the paper).
+
+Each processing node gets exactly one LID, ``PID + 1`` (LMC = 0; LID 0
+is reserved by IBA).  Forwarding tables are built "based on the
+consideration of evenly distributing possible traffic over available
+paths": the ascending port at level ``l`` is chosen by the
+*destination's own label digit* ``p_l``, so
+
+* distinct destinations spread across distinct root switches (the
+  destination-rooted-tree construction of the paper's Figure 7, where
+  destinations E, F, G, H ride through roots i, j, k, l), but
+* **all** sources sending to one destination funnel through the *same*
+  ascending ports — the congestion the MLID scheme removes.
+
+Forwarding rule for DLID ``lid`` (destination ``P(p)``) at ``SW<w, l>``:
+
+* destination below us (``w0…w_{l-1} = p0…p_{l-1}``): ``k = p_l``;
+* otherwise: ``k = p_l + m/2``.
+
+This is exactly the MLID Equation (2) specialized to LMC = 0, since
+with one LID per node the offset digits collapse onto the destination
+label digits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.scheme import RoutingScheme, register_scheme
+from repro.topology import groups
+from repro.topology.fattree import FatTree
+from repro.topology.labels import NodeLabel, SwitchLabel, validate_node_label
+
+__all__ = ["SlidScheme", "build_slid_tables"]
+
+
+class SlidScheme(RoutingScheme):
+    """The single-LID destination-deterministic baseline."""
+
+    name = "slid"
+
+    # -- LID plan ------------------------------------------------------
+    @property
+    def lmc(self) -> int:
+        return 0
+
+    def base_lid(self, node: NodeLabel) -> int:
+        return groups.pid(self.ft.m, self.ft.n, node) + 1
+
+    # -- path selection -------------------------------------------------
+    def dlid(self, src: NodeLabel, dst: NodeLabel) -> int:
+        validate_node_label(self.ft.m, self.ft.n, src)
+        if src == dst:
+            raise ValueError(f"no path selection for src == dst == {src!r}")
+        return self.base_lid(dst)
+
+    def dlid_matrix(self) -> np.ndarray:
+        """Vectorized: the DLID is the destination's single LID."""
+        count = self.ft.num_nodes
+        out = np.tile(np.arange(1, count + 1, dtype=np.int64), (count, 1))
+        np.fill_diagonal(out, 0)
+        return out
+
+    # -- forwarding -----------------------------------------------------
+    def output_port(self, switch: SwitchLabel, lid: int) -> int:
+        w, level = switch
+        dest = self.owner(lid)  # validates lid range
+        if w[:level] == dest[:level]:
+            return dest[level]  # descend
+        return dest[level] + self.ft.half  # ascend on the dest digit
+
+    def build_tables(self) -> Dict[SwitchLabel, List[int]]:
+        """Vectorized table construction over the LID space per switch."""
+        ft = self.ft
+        dest_digits = np.array(ft.nodes, dtype=np.int64)  # lid-1 == PID
+        tables: Dict[SwitchLabel, List[int]] = {}
+        for sw in ft.switches:
+            w, level = sw
+            if level == 0:
+                ports = dest_digits[:, 0]
+            else:
+                prefix = np.array(w[:level], dtype=np.int64)
+                match = (dest_digits[:, :level] == prefix).all(axis=1)
+                ports = np.where(
+                    match,
+                    dest_digits[:, level],
+                    dest_digits[:, level] + ft.half,
+                )
+            tables[sw] = ports.tolist()
+        return tables
+
+
+def build_slid_tables(ft: FatTree) -> Dict[SwitchLabel, List[int]]:
+    """Convenience: all linear forwarding tables of the SLID scheme."""
+    return SlidScheme(ft).build_tables()
+
+
+register_scheme("slid", SlidScheme)

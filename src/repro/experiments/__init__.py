@@ -1,0 +1,41 @@
+"""Experiment harness: the paper's evaluation, reproducible.
+
+* :mod:`repro.experiments.configs` — one declarative config per paper
+  table/figure (and per ablation), matching DESIGN.md's index;
+* :mod:`repro.experiments.runner` — runs a load sweep for one
+  (topology, scheme, VL) combination and returns measurement rows;
+* :mod:`repro.experiments.sweep` — full-figure orchestration (all
+  schemes × VL counts), with saturation detection;
+* :mod:`repro.experiments.report` — renders results as aligned text
+  tables and CSV, the way the benchmarks print them.
+"""
+
+from repro.experiments.configs import (
+    ExperimentConfig,
+    FIGURES,
+    TABLES,
+    ABLATIONS,
+    get_experiment,
+    all_experiments,
+)
+from repro.experiments.runner import SweepPoint, run_point, run_sweep
+from repro.experiments.sweep import FigureResult, run_figure, saturation_throughput
+from repro.experiments.report import render_table, to_csv, render_figure_result
+
+__all__ = [
+    "ExperimentConfig",
+    "FIGURES",
+    "TABLES",
+    "ABLATIONS",
+    "get_experiment",
+    "all_experiments",
+    "SweepPoint",
+    "run_point",
+    "run_sweep",
+    "FigureResult",
+    "run_figure",
+    "saturation_throughput",
+    "render_table",
+    "to_csv",
+    "render_figure_result",
+]

@@ -1,0 +1,154 @@
+"""Closed-form performance bounds for IBFT(m, n).
+
+Small queueing-free analyses of the simulated system.  They serve two
+purposes: (a) validating the simulator — measured saturation must sit
+at or below every bound and close to the binding one — and (b)
+explaining *which* resource limits each experiment (the routing engine
+for uniform traffic, the hot ejection link and the FIFO equalizer for
+centric traffic).  The agreement checks live in
+``benchmarks/test_analytical_validation.py`` and
+``tests/experiments/test_analytical.py``.
+
+All loads are in the paper's unit: bytes/ns per processing node.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ib.config import SimConfig
+from repro.topology import groups
+from repro.topology.labels import check_arity
+
+__all__ = [
+    "min_latency",
+    "uniform_leaf_engine_bound",
+    "uniform_link_bound",
+    "uniform_saturation_bound",
+    "ejection_efficiency",
+    "centric_hot_saturation_offered",
+    "fifo_equalizer_bound",
+]
+
+
+def min_latency(cfg: SimConfig, m: int, n: int, alpha: int = 0) -> float:
+    """Unloaded end-to-end latency between nodes with |gcp| = alpha.
+
+    A route with gcp length ``alpha`` crosses ``2(n - alpha) - 1``
+    switches and ``2(n - alpha)`` links.  Virtual cut-through pipelines
+    the hops, so the header pays flying time per link plus routing time
+    per switch; the tail adds one serialization at the destination.
+    """
+    check_arity(m, n)
+    if not 0 <= alpha <= n - 1:
+        raise ValueError(f"alpha must be in [0, {n - 1}], got {alpha}")
+    switches = 2 * (n - alpha) - 1
+    links = 2 * (n - alpha)
+    return (
+        links * cfg.flying_time_ns
+        + switches * cfg.routing_time_ns
+        + cfg.serialization_ns
+    )
+
+
+def uniform_leaf_engine_bound(cfg: SimConfig, m: int, n: int) -> float:
+    """Accepted-traffic cap imposed by leaf-switch routing engines.
+
+    A leaf switch routes every packet its m/2 local nodes source and
+    every packet they sink; intra-leaf packets are routed once, not
+    twice.  With ``k`` engines of ``routing_time_ns`` each:
+
+        a_max = k * packet_bytes / (routing_time * m * (1 - p_local/2))
+
+    where ``p_local = (m/2 - 1)/(N - 1)`` is the same-leaf probability
+    under uniform destinations.  Infinite with per-port engines (k=0).
+    """
+    check_arity(m, n)
+    k = cfg.routing_engines_per_switch
+    if k == 0:
+        return math.inf
+    total = groups.num_nodes(m, n)
+    p_local = (m // 2 - 1) / (total - 1)
+    ops_per_node_byte = (cfg.routing_time_ns / cfg.packet_bytes) * m * (
+        1 - p_local / 2
+    )
+    return k / ops_per_node_byte
+
+
+def uniform_link_bound(cfg: SimConfig, m: int, n: int) -> float:
+    """Accepted-traffic cap from link bandwidth under uniform traffic.
+
+    The busiest layers carry at most one node's worth of traffic per
+    link (injection/ejection), so the cap is the link's payload
+    bandwidth itself.
+    """
+    check_arity(m, n)
+    return cfg.link_bandwidth
+
+
+def uniform_saturation_bound(cfg: SimConfig, m: int, n: int) -> float:
+    """The binding uniform-traffic bound (min of the above)."""
+    return min(
+        uniform_leaf_engine_bound(cfg, m, n), uniform_link_bound(cfg, m, n)
+    )
+
+
+def ejection_efficiency(cfg: SimConfig) -> float:
+    """Fraction of an ejection link's bandwidth usable on one VL.
+
+    The sink frees its buffer at tail arrival and the credit flies
+    back, so consecutive same-VL packets are spaced
+    ``serialization + 2 * flying`` apart:
+
+        eff = serialization / (serialization + 2 * flying)
+
+    With several VLs the gaps interleave and efficiency approaches 1.
+    """
+    s = cfg.serialization_ns
+    gap = s + 2 * cfg.flying_time_ns
+    if cfg.num_vls >= 2:
+        return min(1.0, cfg.num_vls * s / gap)
+    return s / gap
+
+
+def centric_hot_saturation_offered(
+    cfg: SimConfig, m: int, n: int, fraction: float
+) -> float:
+    """Offered load at which the hot node's ejection link saturates.
+
+    The hot link receives ``f*(N-1)`` hot flows plus its ``~1`` uniform
+    share, against ``link_bandwidth * ejection_efficiency``:
+
+        offered_sat = C_eff / (f * (N - 1) + (1 - f))
+    """
+    check_arity(m, n)
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    total = groups.num_nodes(m, n)
+    c_eff = cfg.link_bandwidth * ejection_efficiency(cfg)
+    demand_per_offered = fraction * (total - 1) + (1.0 - fraction)
+    return c_eff / demand_per_offered
+
+
+def fifo_equalizer_bound(
+    cfg: SimConfig, m: int, n: int, fraction: float
+) -> float:
+    """Accepted-traffic cap with *single-FIFO* source queues under the
+    k%-centric pattern — the routing-scheme-independent equalizer.
+
+    Past hot saturation, each source's FIFO drains at most its hot
+    share ``C_eff/(N-1)`` of hot packets; FIFO order forces the whole
+    stream to that pace, so per-node accepted is at most
+    ``C_eff / (f * (N - 1))`` (plus the hot node's own unthrottled
+    traffic, ignored here — the bound is per-node, conservative).
+
+    This is why the paper's Observation 3 cannot be reproduced with
+    FIFO sources: the bound does not mention the routing scheme at
+    all.  See DESIGN.md §3 and ablation A4.
+    """
+    check_arity(m, n)
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    total = groups.num_nodes(m, n)
+    c_eff = cfg.link_bandwidth * ejection_efficiency(cfg)
+    return c_eff / (fraction * (total - 1))

@@ -1,0 +1,168 @@
+"""Rendering experiment results as text tables and CSV.
+
+The benchmarks print their figure reproductions with these helpers so
+``pytest benchmarks/ --benchmark-only`` output doubles as the
+EXPERIMENTS.md evidence.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+from typing import List, Mapping, Sequence
+
+from repro.experiments.sweep import FigureResult
+
+__all__ = ["render_table", "to_csv", "ascii_plot", "render_figure_result"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        if value >= 1000:
+            return f"{value:.0f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping], columns: Sequence[str] | None = None, title: str = ""
+) -> str:
+    """Align rows of dicts into a monospace table."""
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    cells = [[_fmt(row.get(c, "")) for c in cols] for row in rows]
+    widths = [
+        max(len(c), *(len(r[i]) for r in cells)) for i, c in enumerate(cols)
+    ]
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    out.write("  ".join(c.ljust(widths[i]) for i, c in enumerate(cols)) + "\n")
+    out.write("  ".join("-" * w for w in widths) + "\n")
+    for r in cells:
+        out.write("  ".join(r[i].ljust(widths[i]) for i in range(len(cols))) + "\n")
+    return out.getvalue()
+
+
+def to_csv(rows: Sequence[Mapping], columns: Sequence[str] | None = None) -> str:
+    """Minimal CSV (no quoting needed for our numeric tables)."""
+    rows = list(rows)
+    if not rows:
+        return ""
+    cols = list(columns) if columns else list(rows[0].keys())
+    lines = [",".join(cols)]
+    for row in rows:
+        lines.append(",".join(_fmt(row.get(c, "")) for c in cols))
+    return "\n".join(lines) + "\n"
+
+
+def ascii_plot(
+    series: Mapping[str, Sequence[tuple]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    xlabel: str = "x",
+    ylabel: str = "y",
+) -> str:
+    """Plot named (x, y) series on a character grid.
+
+    Each series gets a marker (its name's first distinct letter/digit);
+    overlapping points show ``*``.  Non-finite points are skipped.
+    This substitutes for matplotlib (unavailable offline) when eyeballing
+    the latency-vs-accepted-traffic curve shapes.
+    """
+    points = {
+        name: [
+            (float(x), float(y))
+            for x, y in pts
+            if math.isfinite(x) and math.isfinite(y)
+        ]
+        for name, pts in series.items()
+    }
+    flat = [p for pts in points.values() for p in pts]
+    if not flat:
+        return "(no finite points to plot)"
+    xs = [p[0] for p in flat]
+    ys = [p[1] for p in flat]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    xspan = (x1 - x0) or 1.0
+    yspan = (y1 - y0) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers: List[str] = []
+    used = set()
+    for name in points:
+        mark = next((ch for ch in name if ch.isalnum() and ch not in used), "?")
+        used.add(mark)
+        markers.append(mark)
+    for (name, pts), mark in zip(points.items(), markers):
+        for x, y in pts:
+            col = round((x - x0) / xspan * (width - 1))
+            row = height - 1 - round((y - y0) / yspan * (height - 1))
+            grid[row][col] = "*" if grid[row][col] not in (" ", mark) else mark
+
+    out = io.StringIO()
+    out.write(f"{ylabel}  [{_fmt(y0)} .. {_fmt(y1)}]\n")
+    for row in grid:
+        out.write("|" + "".join(row) + "\n")
+    out.write("+" + "-" * width + "\n")
+    out.write(f"{xlabel}  [{_fmt(x0)} .. {_fmt(x1)}]   legend: ")
+    out.write(
+        ", ".join(f"{mark}={name}" for (name, _), mark in zip(points.items(), markers))
+    )
+    out.write("  (*=overlap)\n")
+    return out.getvalue()
+
+
+def render_figure_result(result: FigureResult) -> str:
+    """Full text rendering of one figure: every curve point + summary."""
+    cfg = result.config
+    out = io.StringIO()
+    out.write(f"== {cfg.id}: {cfg.title} ==\n")
+    if cfg.notes:
+        out.write(f"   ({cfg.notes})\n")
+    rows: List[dict] = []
+    for (scheme, vls), points in sorted(result.curves.items()):
+        for p in points:
+            rows.append(p.as_row())
+    out.write(
+        render_table(
+            rows,
+            columns=[
+                "scheme",
+                "vls",
+                "offered",
+                "accepted",
+                "latency_mean",
+                "latency_p99",
+            ],
+        )
+    )
+    out.write("\nsaturation throughput (bytes/ns/node):\n")
+    out.write(
+        render_table(
+            result.summary_rows(),
+            columns=["scheme", "vls", "saturation", "low_load_latency"],
+        )
+    )
+    # The paper's figure, as characters: latency vs accepted traffic.
+    series = {
+        f"{scheme}-{vls}vl": [
+            (p.accepted, p.latency_mean) for p in points if p.packets
+        ]
+        for (scheme, vls), points in sorted(result.curves.items())
+    }
+    out.write("\n")
+    out.write(
+        ascii_plot(
+            series,
+            xlabel="accepted traffic (bytes/ns/node)",
+            ylabel="avg latency (ns)",
+        )
+    )
+    return out.getvalue()

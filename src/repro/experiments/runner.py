@@ -1,0 +1,143 @@
+"""Single-configuration sweep runner.
+
+``run_point`` builds a fresh subnet, attaches the traffic pattern and
+measures one offered-load point; ``run_sweep`` repeats it over a load
+grid and seed set, averaging replicas.  Every run uses a fresh subnet
+so points are statistically independent (the paper's methodology: one
+simulation run per generation rate).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.ib.config import SimConfig
+from repro.ib.subnet import build_subnet
+from repro.traffic.patterns import make_pattern
+
+__all__ = ["SweepPoint", "run_point", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (offered load) measurement, averaged over seeds."""
+
+    scheme: str
+    num_vls: int
+    offered: float
+    accepted: float
+    latency_mean: float
+    latency_p99: float
+    latency_total_mean: float
+    packets: int
+    replicas: int
+
+    def as_row(self) -> dict:
+        return {
+            "scheme": self.scheme,
+            "vls": self.num_vls,
+            "offered": self.offered,
+            "accepted": self.accepted,
+            "latency_mean": self.latency_mean,
+            "latency_p99": self.latency_p99,
+            "latency_total_mean": self.latency_total_mean,
+            "packets": self.packets,
+            "replicas": self.replicas,
+        }
+
+
+def _build_pattern(pattern: str, num_nodes: int, hotspot_fraction: float):
+    if pattern == "centric":
+        return make_pattern(
+            "centric", num_nodes, hot_pid=0, fraction=hotspot_fraction
+        )
+    return make_pattern(pattern, num_nodes)
+
+
+def run_point(
+    m: int,
+    n: int,
+    scheme: str,
+    pattern: str,
+    offered: float,
+    *,
+    cfg: Optional[SimConfig] = None,
+    hotspot_fraction: float = 0.5,
+    warmup_ns: float = 30_000.0,
+    measure_ns: float = 120_000.0,
+    seed: int = 1,
+) -> dict:
+    """Measure one offered-load point on a fresh subnet."""
+    cfg = cfg or SimConfig()
+    net = build_subnet(m, n, scheme, cfg, seed=seed)
+    net.attach_pattern(_build_pattern(pattern, net.num_nodes, hotspot_fraction))
+    return net.run_measurement(offered, warmup_ns, measure_ns)
+
+
+def run_sweep(
+    m: int,
+    n: int,
+    scheme: str,
+    pattern: str,
+    loads: Sequence[float],
+    *,
+    cfg: Optional[SimConfig] = None,
+    hotspot_fraction: float = 0.5,
+    warmup_ns: float = 30_000.0,
+    measure_ns: float = 120_000.0,
+    seeds: Sequence[int] = (1,),
+) -> List[SweepPoint]:
+    """Sweep offered loads, averaging over seeds.
+
+    Latency means are packet-count-weighted across replicas; the p99 is
+    the max across replicas (conservative).
+    """
+    if not loads:
+        raise ValueError("need at least one load point")
+    if not seeds:
+        raise ValueError("need at least one seed")
+    cfg = cfg or SimConfig()
+    points: List[SweepPoint] = []
+    for offered in loads:
+        acc = 0.0
+        lat_num = lat_tot_num = 0.0
+        p99 = -math.inf
+        packets = 0
+        for seed in seeds:
+            res = run_point(
+                m,
+                n,
+                scheme,
+                pattern,
+                offered,
+                cfg=cfg,
+                hotspot_fraction=hotspot_fraction,
+                warmup_ns=warmup_ns,
+                measure_ns=measure_ns,
+                seed=seed,
+            )
+            acc += res["accepted"]
+            got = res["packets"]
+            if got and not math.isnan(res["latency_mean"]):
+                lat_num += res["latency_mean"] * got
+                lat_tot_num += res["latency_total_mean"] * got
+                packets += got
+            if not math.isnan(res["latency_p99"]):
+                p99 = max(p99, res["latency_p99"])
+        k = len(seeds)
+        points.append(
+            SweepPoint(
+                scheme=scheme,
+                num_vls=cfg.num_vls,
+                offered=offered,
+                accepted=acc / k,
+                latency_mean=lat_num / packets if packets else math.nan,
+                latency_p99=p99 if p99 > -math.inf else math.nan,
+                latency_total_mean=lat_tot_num / packets if packets else math.nan,
+                packets=packets,
+                replicas=k,
+            )
+        )
+    return points

@@ -1,0 +1,93 @@
+"""Full-figure orchestration.
+
+A paper figure is a family of latency-vs-accepted-traffic curves: one
+per (scheme, VL count).  :func:`run_figure` produces them all for one
+:class:`~repro.experiments.configs.ExperimentConfig`;
+:func:`saturation_throughput` extracts the scalar the paper's
+observations compare ("the throughput of the MLID scheme is higher…").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.runner import SweepPoint, run_sweep
+from repro.ib.config import SimConfig
+
+__all__ = ["FigureResult", "run_figure", "saturation_throughput"]
+
+#: Curve key: (scheme name, VL count).
+CurveKey = Tuple[str, int]
+
+
+@dataclass
+class FigureResult:
+    """All curves of one figure."""
+
+    config: ExperimentConfig
+    curves: Dict[CurveKey, List[SweepPoint]] = field(default_factory=dict)
+
+    def saturation(self, scheme: str, vls: int) -> float:
+        """Max accepted traffic along one curve (bytes/ns/node)."""
+        return saturation_throughput(self.curves[(scheme, vls)])
+
+    def summary_rows(self) -> List[dict]:
+        """One row per curve: its saturation throughput and the latency
+        at the lowest load (the 'zero-load' latency)."""
+        rows = []
+        for (scheme, vls), points in sorted(self.curves.items()):
+            rows.append(
+                {
+                    "scheme": scheme,
+                    "vls": vls,
+                    "saturation": saturation_throughput(points),
+                    "low_load_latency": points[0].latency_mean,
+                }
+            )
+        return rows
+
+
+def saturation_throughput(points: List[SweepPoint]) -> float:
+    """The throughput the paper reads off a curve: max accepted traffic."""
+    if not points:
+        raise ValueError("empty curve")
+    return max(p.accepted for p in points)
+
+
+def run_figure(
+    config: ExperimentConfig,
+    *,
+    quick: bool = False,
+    base_cfg: SimConfig | None = None,
+) -> FigureResult:
+    """Run every (scheme, VL) curve of one figure config.
+
+    ``quick`` selects the reduced load grid / windows / seed set for
+    benchmark-speed runs; the full grid reproduces the paper curves.
+    ``base_cfg`` overrides simulation constants (VL count is set per
+    curve on top of it).
+    """
+    base_cfg = base_cfg or SimConfig()
+    loads = config.quick_loads if quick else config.loads
+    warmup = config.quick_warmup_ns if quick else config.warmup_ns
+    measure = config.quick_measure_ns if quick else config.measure_ns
+    seeds = config.quick_seeds if quick else config.seeds
+    result = FigureResult(config=config)
+    for vls in config.vl_counts:
+        cfg = base_cfg.with_vls(vls)
+        for scheme in config.schemes:
+            result.curves[(scheme, vls)] = run_sweep(
+                config.m,
+                config.n,
+                scheme,
+                config.pattern,
+                loads,
+                cfg=cfg,
+                hotspot_fraction=config.hotspot_fraction,
+                warmup_ns=warmup,
+                measure_ns=measure,
+                seeds=seeds,
+            )
+    return result

@@ -1,0 +1,34 @@
+"""InfiniBand subnet substrate (Section 5.1's network model).
+
+Event-driven models of every IBA mechanism the paper simulates:
+
+* packets with SLID/DLID local route headers (:mod:`repro.ib.packet`);
+* linear forwarding tables with physical port numbering
+  (:mod:`repro.ib.lft`);
+* per-virtual-lane input/output buffers of one packet each
+  (:mod:`repro.ib.buffers`);
+* credit-based link-level flow control (:mod:`repro.ib.flowcontrol`);
+* bidirectional links with flying time and byte injection rate
+  (:mod:`repro.ib.link`);
+* m-port crossbar switches with virtual cut-through switching
+  (:mod:`repro.ib.switch`);
+* endnodes — packet producers and consumers (:mod:`repro.ib.endnode`);
+* a Subnet Manager that discovers the topology, assigns LIDs per the
+  routing scheme and programs every LFT (:mod:`repro.ib.sm`);
+* subnet assembly tying it all together (:mod:`repro.ib.subnet`).
+"""
+
+from repro.ib.config import SimConfig
+from repro.ib.packet import Packet
+from repro.ib.lft import LinearForwardingTable
+from repro.ib.subnet import Subnet, build_subnet
+from repro.ib.sm import SubnetManager
+
+__all__ = [
+    "SimConfig",
+    "Packet",
+    "LinearForwardingTable",
+    "Subnet",
+    "build_subnet",
+    "SubnetManager",
+]

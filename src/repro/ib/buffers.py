@@ -1,0 +1,65 @@
+"""Per-virtual-lane packet buffers.
+
+Each port direction of a switch (and of an endnode NIC) owns one
+:class:`VlBuffer` per data VL.  The paper's buffers hold exactly one
+packet; the class supports any capacity so buffer-size ablations are
+possible, but the default everywhere is 1.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.ib.packet import Packet
+
+__all__ = ["VlBuffer"]
+
+
+class VlBuffer:
+    """A bounded FIFO of packets for one VL of one port direction."""
+
+    __slots__ = ("capacity", "_fifo")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._fifo: Deque[Packet] = deque()
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self._fifo)
+
+    @property
+    def occupied(self) -> int:
+        return len(self._fifo)
+
+    def can_accept(self) -> bool:
+        return len(self._fifo) < self.capacity
+
+    def push(self, packet: Packet) -> None:
+        """Append a packet; raises if the buffer is full (a push without
+        a credit is a flow-control protocol violation, not backpressure)."""
+        if len(self._fifo) >= self.capacity:
+            raise OverflowError(
+                f"VL buffer overflow (capacity {self.capacity}) — "
+                "credit flow control violated"
+            )
+        self._fifo.append(packet)
+
+    def head(self) -> Optional[Packet]:
+        """Oldest packet, or None when empty."""
+        return self._fifo[0] if self._fifo else None
+
+    def pop(self) -> Packet:
+        """Remove and return the oldest packet."""
+        if not self._fifo:
+            raise IndexError("pop from empty VL buffer")
+        return self._fifo.popleft()
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VlBuffer({len(self._fifo)}/{self.capacity})"

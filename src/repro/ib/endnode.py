@@ -1,0 +1,304 @@
+"""Endnode (processing-node) model: packet producer and consumer.
+
+**Producer.**  A constant-mean-rate generation process (the paper: "the
+packet generation rate is constant and the same for all processing
+nodes"; inter-arrival times are exponential by default, deterministic
+optionally) draws a destination from the traffic pattern, builds the
+packet with the routing scheme's DLID, assigns a VL per the configured
+policy and hands it to the *injection queue*.  Whatever the fabric
+cannot carry accumulates there — this is offered traffic, which is how
+the paper drives the network past saturation.
+
+Two injection-queue disciplines (``SimConfig.injection_queueing``):
+
+* ``"per_destination"`` (default) — one unbounded queue per
+  destination, drained round-robin into the NIC.  This models IBA
+  reality: a host talks to each peer over its own queue pair, and the
+  HCA arbitrates among QPs, so a congested flow does not head-of-line
+  block the host's other flows.
+* ``"fifo"`` — a single unbounded FIFO per VL.  A congested flow
+  blocks everything generated after it; useful as an ablation because
+  it provably equalizes routing schemes under hot-spot traffic (every
+  source's drain rate collapses to its hot-flow share regardless of
+  routing).
+
+**Consumer.**  The sink stamps delivery at *tail* arrival, records
+latency/throughput, and returns the credit after the packet has fully
+vacated the wire.
+
+Latency is recorded on two clocks: from generation (includes source
+queueing) and from injection (first byte on the wire — the paper's
+"time elapsed since the packet transmission is initiated until the
+packet is received").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+import numpy as np
+
+from repro.ib.config import SimConfig
+from repro.ib.link import Transmitter
+from repro.ib.packet import Packet
+from repro.sim.engine import Engine
+from repro.sim.stats import LatencyStats, ThroughputMeter
+
+__all__ = ["Endnode", "FifoInjection", "PerDestinationInjection"]
+
+
+class FifoInjection:
+    """Single unbounded FIFO per VL."""
+
+    def __init__(self, num_vls: int):
+        self._queues: List[Deque[Packet]] = [deque() for _ in range(num_vls)]
+
+    def push(self, packet: Packet) -> None:
+        self._queues[packet.vl].append(packet)
+
+    def pull(self, vl: int) -> Optional[Packet]:
+        queue = self._queues[vl]
+        return queue.popleft() if queue else None
+
+    @property
+    def backlog(self) -> int:
+        return sum(len(q) for q in self._queues)
+
+
+class PerDestinationInjection:
+    """One unbounded queue per destination, round-robin per VL.
+
+    The active ring per VL holds destinations with a non-empty queue,
+    in round-robin order; ``pull`` serves the ring head and re-appends
+    it while its queue stays non-empty.
+    """
+
+    def __init__(self, num_vls: int):
+        self._queues: dict[int, Deque[Packet]] = {}
+        self._rings: List[Deque[int]] = [deque() for _ in range(num_vls)]
+
+    def push(self, packet: Packet) -> None:
+        queue = self._queues.get(packet.dst_pid)
+        if queue is None:
+            queue = self._queues[packet.dst_pid] = deque()
+        if not queue:
+            self._rings[packet.vl].append(packet.dst_pid)
+        queue.append(packet)
+
+    def pull(self, vl: int) -> Optional[Packet]:
+        ring = self._rings[vl]
+        if not ring:
+            return None
+        dst = ring.popleft()
+        queue = self._queues[dst]
+        packet = queue.popleft()
+        if queue:
+            ring.append(dst)
+        return packet
+
+    @property
+    def backlog(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+
+class Endnode:
+    """One processing node: traffic source, NIC and sink."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        cfg: SimConfig,
+        pid: int,
+        slid: int,
+        rng: np.random.Generator,
+    ):
+        self.engine = engine
+        self.cfg = cfg
+        self.pid = pid
+        self.slid = slid
+        self.rng = rng
+        self.tx = Transmitter(engine, cfg, f"node{pid}.tx")
+        self.tx.on_free = self._refill
+        if cfg.injection_queueing == "per_destination":
+            self.injection = PerDestinationInjection(cfg.num_vls)
+        else:
+            self.injection = FifoInjection(cfg.num_vls)
+        self.upstream: Optional[Transmitter] = None  # leaf switch tx toward us
+        # Set by the subnet: destination chooser and DLID resolver.
+        self.choose_destination: Optional[Callable[[np.random.Generator], int]] = None
+        self.dlid_for: Optional[Callable[[int, int], int]] = None
+        # Measurement hooks (shared across the subnet).
+        self.latency: Optional[LatencyStats] = None
+        self.net_latency: Optional[LatencyStats] = None
+        self.throughput: Optional[ThroughputMeter] = None
+        self.packets_generated = 0
+        self.packets_received = 0
+        self._vl_rr = 0
+        self._interval: float = 0.0
+        self._gen_event = None
+        self._burst_left = 0
+
+    # ------------------------------------------------------------------
+    # Producer
+    # ------------------------------------------------------------------
+    def start_generation(self, rate_pkts_per_ns: float) -> None:
+        """Begin constant-mean-rate generation (``rate`` packets/ns)."""
+        if rate_pkts_per_ns < 0:
+            raise ValueError(f"rate must be non-negative, got {rate_pkts_per_ns}")
+        if rate_pkts_per_ns == 0:
+            return
+        self._interval = 1.0 / rate_pkts_per_ns
+        # Random initial phase in [0, interval) de-synchronizes nodes.
+        first = float(self.rng.uniform(0.0, self._interval))
+        self._gen_event = self.engine.schedule_after(first, self._generate)
+
+    def stop_generation(self) -> None:
+        """Cancel the generation process (pending backlog still drains)."""
+        if self._gen_event is not None:
+            self._gen_event.cancel()
+            self._gen_event = None
+
+    def _next_gap(self) -> float:
+        process = self.cfg.arrival_process
+        if process == "exponential":
+            return float(self.rng.exponential(self._interval))
+        if process == "onoff":
+            return self._onoff_gap()
+        return self._interval
+
+    def _onoff_gap(self) -> float:
+        """Bursty two-state gaps preserving the mean rate.
+
+        Bursts are geometric with mean ``onoff_burst_packets``; inside a
+        burst, gaps are exponential at ``onoff_peak_ratio`` times the
+        mean rate; between bursts an OFF gap restores the long-run
+        mean: off_mean = burst · interval · (1 - 1/peak_ratio).
+        """
+        ratio = self.cfg.onoff_peak_ratio
+        if self._burst_left > 0:
+            self._burst_left -= 1
+            return float(self.rng.exponential(self._interval / ratio))
+        burst = self.cfg.onoff_burst_packets
+        self._burst_left = int(self.rng.geometric(1.0 / burst))
+        off_mean = burst * self._interval * (1.0 - 1.0 / ratio)
+        return float(
+            self.rng.exponential(off_mean)
+            + self.rng.exponential(self._interval / ratio)
+        )
+
+    def _generate(self) -> None:
+        self._emit_one()
+        # The rate parameter is packets/ns, so a k-packet message is
+        # generated every k inter-packet gaps on average.
+        gap = sum(self._next_gap() for _ in range(self.cfg.message_packets))
+        self._gen_event = self.engine.schedule_after(gap, self._generate)
+
+    def _emit_one(self) -> Packet:
+        """Emit one message (``message_packets`` packets, back-to-back,
+        same destination and VL); returns the tail packet."""
+        dst_pid = self.choose_destination(self.rng)
+        if dst_pid == self.pid:
+            raise RuntimeError(f"traffic pattern sent node {self.pid} to itself")
+        dlid = self.dlid_for(self.pid, dst_pid)
+        vl = self._assign_vl(dst_pid)
+        count = self.cfg.message_packets
+        message_id = -1
+        packet: Packet
+        for seq in range(count):
+            packet = Packet(
+                slid=self.slid,
+                dlid=dlid,
+                src_pid=self.pid,
+                dst_pid=dst_pid,
+                size_bytes=self.cfg.packet_bytes,
+                vl=vl,
+                t_created=self.engine.now,
+                message_id=message_id,
+                is_message_tail=(seq == count - 1),
+            )
+            if message_id < 0:
+                message_id = packet.message_id
+            self.packets_generated += 1
+            self.injection.push(packet)
+        self._refill(vl)
+        return packet
+
+    def send_now(self, dst_pid: int) -> Packet:
+        """Inject a single packet immediately (examples / tests)."""
+        saved = self.choose_destination
+        self.choose_destination = lambda _rng: dst_pid
+        try:
+            return self._emit_one()
+        finally:
+            self.choose_destination = saved
+
+    def _assign_vl(self, dst_pid: int) -> int:
+        nvl = self.cfg.num_vls
+        if nvl == 1:
+            return 0
+        policy = self.cfg.vl_policy
+        if policy == "hash":
+            # Cheap deterministic pair hash; spreads flows over VLs.
+            return (self.pid * 0x9E3779B1 ^ dst_pid * 0x85EBCA77) % nvl
+        if policy == "roundrobin":
+            self._vl_rr = (self._vl_rr + 1) % nvl
+            return self._vl_rr
+        if policy == "dest":
+            return dst_pid % nvl
+        return int(self.rng.integers(0, nvl))
+
+    def _refill(self, vl: int) -> None:
+        """NIC output buffer slot freed: pull the next queued packet."""
+        if not self.tx.can_accept(vl):
+            return
+        packet = self.injection.pull(vl)
+        if packet is not None:
+            self.tx.accept(packet)
+
+    @property
+    def backlog(self) -> int:
+        """Packets generated but not yet in the NIC output buffer."""
+        return self.injection.backlog
+
+    # ------------------------------------------------------------------
+    # Consumer (the receive side the leaf switch transmits into)
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet) -> None:
+        """Header arrival at the NIC; completes at tail arrival."""
+        self.engine.schedule_after(
+            packet.size_bytes * self.cfg.byte_time_ns,
+            lambda: self._consumed(packet),
+        )
+
+    def _consumed(self, packet: Packet) -> None:
+        if packet.dst_pid != self.pid:
+            raise RuntimeError(
+                f"node {self.pid} received packet for {packet.dst_pid} "
+                f"(DLID {packet.dlid}) — forwarding tables are wrong"
+            )
+        packet.t_delivered = self.engine.now
+        self.packets_received += 1
+        if self.throughput is not None:
+            if self.throughput.window.accepts(self.engine.now):
+                # Message latency: recorded at the last packet (the
+                # paper's "time … until the packet is received at the
+                # destination node", message-granular).
+                if packet.is_message_tail:
+                    if self.latency is not None:
+                        self.latency.record(packet.latency)
+                    if self.net_latency is not None and packet.t_injected >= 0:
+                        self.net_latency.record(
+                            packet.t_delivered - packet.t_injected
+                        )
+            self.throughput.record(
+                self.engine.now, packet.size_bytes, destination=self.pid
+            )
+        upstream = self.upstream
+        vl = packet.vl
+        self.engine.schedule_after(
+            self.cfg.flying_time_ns, lambda: upstream.credit_return(vl)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Endnode(pid={self.pid}, slid={self.slid})"

@@ -1,0 +1,47 @@
+"""Credit-based link-level flow control (IBA section C9; paper §5.1).
+
+Each transmitter holds one :class:`CreditAccount` per data VL,
+initialized to the *receiver's* buffer capacity for that VL.  A packet
+may only be put on the wire when a credit is available; the credit is
+consumed at transmission start and returned by the receiver (after a
+propagation delay) once the packet has vacated its input buffer.
+
+The invariant — credits held by the sender never exceed free receiver
+slots — is what makes the buffers lossless; :class:`VlBuffer` raises on
+violation, so any protocol bug is caught immediately rather than
+silently dropping packets.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CreditAccount"]
+
+
+class CreditAccount:
+    """Per-VL credit counter on the transmit side of one channel."""
+
+    __slots__ = ("initial", "available")
+
+    def __init__(self, initial: int):
+        if initial < 1:
+            raise ValueError(f"initial credits must be >= 1, got {initial}")
+        self.initial = initial
+        self.available = initial
+
+    def can_send(self) -> bool:
+        return self.available > 0
+
+    def consume(self) -> None:
+        """Take one credit at transmission start."""
+        if self.available <= 0:
+            raise RuntimeError("credit underflow — transmitted without credit")
+        self.available -= 1
+
+    def restore(self) -> None:
+        """Return one credit (receiver freed a buffer slot)."""
+        if self.available >= self.initial:
+            raise RuntimeError("credit overflow — more credits than buffer slots")
+        self.available += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CreditAccount({self.available}/{self.initial})"

@@ -1,0 +1,143 @@
+"""Fabric instrumentation: per-link utilization and occupancy probes.
+
+Turns the raw counters the components keep (transmitter busy time,
+packets sent, routing-engine operations) into the layered views the
+analyses need: utilization by fabric layer (injection, up, down,
+ejection), per-channel hot-spot tables, and routing-engine pressure.
+
+Used by the congestion example, the ablation benches and EXPERIMENTS.md
+evidence; pure read-only — probing never perturbs the simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.ib.subnet import Subnet
+from repro.topology.labels import SwitchLabel, format_switch
+
+__all__ = ["LinkProbe", "FabricReport", "probe_fabric"]
+
+#: Fabric layers a unidirectional channel can belong to.
+LAYERS = ("injection", "up", "down", "ejection")
+
+
+@dataclass(frozen=True)
+class LinkProbe:
+    """One unidirectional channel's measurements."""
+
+    layer: str
+    name: str
+    utilization: float
+    packets: int
+
+    def __post_init__(self) -> None:
+        if self.layer not in LAYERS:
+            raise ValueError(f"unknown layer {self.layer!r}")
+
+
+@dataclass
+class FabricReport:
+    """All channels of a subnet, grouped by layer."""
+
+    elapsed_ns: float
+    links: List[LinkProbe]
+
+    def by_layer(self) -> Dict[str, List[LinkProbe]]:
+        out: Dict[str, List[LinkProbe]] = {layer: [] for layer in LAYERS}
+        for link in self.links:
+            out[link.layer].append(link)
+        return out
+
+    def layer_stats(self) -> List[dict]:
+        """Mean/max utilization rows per layer (render with
+        :func:`repro.experiments.report.render_table`)."""
+        rows = []
+        for layer, links in self.by_layer().items():
+            if not links:
+                continue
+            us = [l.utilization for l in links]
+            rows.append(
+                {
+                    "layer": layer,
+                    "links": len(links),
+                    "mean_util": sum(us) / len(us),
+                    "max_util": max(us),
+                    "packets": sum(l.packets for l in links),
+                }
+            )
+        return rows
+
+    def hottest(self, k: int = 5) -> List[LinkProbe]:
+        """The k busiest channels fabric-wide."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        return sorted(self.links, key=lambda l: -l.utilization)[:k]
+
+    def imbalance(self, layer: str) -> float:
+        """max/mean utilization within a layer — 1.0 is perfectly even.
+
+        The static signature the paper's schemes differ in: SLID's
+        all-to-one concentration shows up as a large down-layer
+        imbalance, MLID's spreading keeps it near 1.
+        """
+        links = self.by_layer().get(layer)
+        if not links:
+            raise ValueError(f"no links in layer {layer!r}")
+        us = [l.utilization for l in links]
+        mean = sum(us) / len(us)
+        return max(us) / mean if mean > 0 else 1.0
+
+
+def probe_fabric(net: Subnet) -> FabricReport:
+    """Snapshot every channel of a (possibly running) subnet."""
+    elapsed = net.engine.now
+    if elapsed <= 0:
+        raise RuntimeError("nothing simulated yet (engine at t=0)")
+    links: List[LinkProbe] = []
+    for node in net.endnodes:
+        links.append(
+            LinkProbe(
+                layer="injection",
+                name=f"node{node.pid}->leaf",
+                utilization=node.tx.utilization(elapsed),
+                packets=node.tx.packets_sent,
+            )
+        )
+    for sw, model in net.switches.items():
+        _, level = sw
+        for phys, tx in model.tx.items():
+            ep = net.ft.peer(sw, phys - 1)
+            if ep.is_node:
+                layer = "ejection"
+                peer = f"node{net.ft.node_id(ep.node)}"
+            elif ep.switch[1] > level:
+                layer = "down"
+                peer = format_switch(*ep.switch)
+            else:
+                layer = "up"
+                peer = format_switch(*ep.switch)
+            links.append(
+                LinkProbe(
+                    layer=layer,
+                    name=f"{format_switch(*sw)}[{phys}]->{peer}",
+                    utilization=tx.utilization(elapsed),
+                    packets=tx.packets_sent,
+                )
+            )
+    return FabricReport(elapsed_ns=elapsed, links=links)
+
+
+def routing_pressure(net: Subnet) -> List[Tuple[SwitchLabel, float]]:
+    """Per-switch routing-engine occupancy: operations x routing_time /
+    elapsed.  1.0 means the engine was the bottleneck the whole run."""
+    elapsed = net.engine.now
+    if elapsed <= 0:
+        raise RuntimeError("nothing simulated yet (engine at t=0)")
+    out = []
+    for sw, model in net.switches.items():
+        busy = model.router.ops * net.cfg.routing_time_ns
+        capacity = max(1, model.router.capacity or model.num_ports)
+        out.append((sw, busy / (elapsed * capacity)))
+    return sorted(out, key=lambda kv: -kv[1])

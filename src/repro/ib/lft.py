@@ -1,0 +1,69 @@
+"""Linear Forwarding Tables.
+
+An IBA switch forwards a packet by indexing its LFT with the packet's
+DLID; the entry is a *physical* output port number.  Physical ports are
+1-based — port 0 is the switch's internal management port and never
+appears in a data LFT.
+
+The table is a dense list indexed by ``dlid - 1`` (LID 0 is reserved),
+exactly how the Subnet Manager programs real switches (LinearFDBs).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["LinearForwardingTable"]
+
+
+class LinearForwardingTable:
+    """Dense DLID → physical-port map for one switch."""
+
+    __slots__ = ("_ports", "num_physical_ports")
+
+    def __init__(self, entries: Sequence[int], num_physical_ports: int):
+        """``entries[lid - 1]`` is the physical (1-based) output port.
+
+        ``num_physical_ports`` is the count of external ports (the
+        paper's m); valid entries are ``1 … num_physical_ports``.
+        """
+        if num_physical_ports < 1:
+            raise ValueError(f"need at least one port, got {num_physical_ports}")
+        ports = list(entries)
+        for i, port in enumerate(ports):
+            if not 1 <= port <= num_physical_ports:
+                raise ValueError(
+                    f"LFT entry for LID {i + 1} is port {port}, outside "
+                    f"[1, {num_physical_ports}]"
+                )
+        self._ports: List[int] = ports
+        self.num_physical_ports = num_physical_ports
+
+    @classmethod
+    def from_zero_based(
+        cls, entries: Iterable[int], num_physical_ports: int
+    ) -> "LinearForwardingTable":
+        """Build from the paper's 0-based ``k`` ports (shifts by +1)."""
+        return cls([k + 1 for k in entries], num_physical_ports)
+
+    def lookup(self, dlid: int) -> int:
+        """Physical output port for ``dlid``; raises ``KeyError`` for
+        LIDs outside the programmed range (the real switch would drop)."""
+        idx = dlid - 1
+        if not 0 <= idx < len(self._ports):
+            raise KeyError(f"DLID {dlid} not present in forwarding table")
+        return self._ports[idx]
+
+    def __len__(self) -> int:
+        return len(self._ports)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LinearForwardingTable):
+            return NotImplemented
+        return (
+            self._ports == other._ports
+            and self.num_physical_ports == other.num_physical_ports
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LinearForwardingTable({len(self._ports)} LIDs)"

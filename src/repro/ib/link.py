@@ -1,0 +1,177 @@
+"""Link transmitters: the sending side of one unidirectional channel.
+
+A physical IBA link is bidirectional; the simulator models it as two
+independent :class:`Transmitter` instances, one per direction.  Each
+transmitter owns
+
+* one output :class:`~repro.ib.buffers.VlBuffer` per data VL (the
+  paper's per-VL output buffers of one packet),
+* one :class:`~repro.ib.flowcontrol.CreditAccount` per VL mirroring
+  the remote input buffer, and
+* the wire itself: at most one packet is serializing at any time,
+  regardless of VL.
+
+Timing (virtual cut-through, packet granularity):
+
+* transmission start ``t``: requires a buffered packet, a credit for
+  its VL and an idle wire; the credit is consumed and the packet's
+  header reaches the receiver at ``t + flying_time``;
+* the wire and the output-buffer slot are released at
+  ``t + packet_bytes * byte_time`` (tail has left);
+* VL arbitration is round-robin over VLs that are ready to send.
+
+When an output slot frees, the transmitter first serves its FIFO of
+*waiters* (switch input units blocked on this output buffer — crossbar
+arbitration), then the owner's ``on_free`` hook (endnodes refill from
+their injection queues).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from repro.ib.buffers import VlBuffer
+from repro.ib.config import SimConfig
+from repro.ib.flowcontrol import CreditAccount
+from repro.ib.packet import Packet
+from repro.ib.vl_arbitration import VlArbitrationTable, WeightedVlArbiter
+from repro.sim.engine import Engine
+
+__all__ = ["Transmitter"]
+
+
+class Transmitter:
+    """Sending side of one unidirectional channel."""
+
+    __slots__ = (
+        "engine",
+        "cfg",
+        "name",
+        "buffers",
+        "credits",
+        "waiters",
+        "receiver",
+        "on_free",
+        "arbiter",
+        "_wire_busy",
+        "_rr",
+        "packets_sent",
+        "busy_time",
+        "_last_start",
+    )
+
+    def __init__(self, engine: Engine, cfg: SimConfig, name: str = ""):
+        self.engine = engine
+        self.cfg = cfg
+        self.name = name
+        self.buffers: List[VlBuffer] = [
+            VlBuffer(cfg.buffer_packets_per_vl) for _ in range(cfg.num_vls)
+        ]
+        self.credits: List[CreditAccount] = [
+            CreditAccount(cfg.buffer_packets_per_vl) for _ in range(cfg.num_vls)
+        ]
+        #: input units blocked waiting for space in an output buffer,
+        #: FIFO per VL: callables invoked as waiter() when space frees.
+        self.waiters: List[Deque[Callable[[], None]]] = [
+            deque() for _ in range(cfg.num_vls)
+        ]
+        self.receiver: Optional[object] = None  # set by connect()
+        self.on_free: Optional[Callable[[int], None]] = None
+        self.arbiter: Optional[WeightedVlArbiter] = None
+        if cfg.vl_arbitration == "weighted":
+            weights = cfg.vl_weights or tuple([4] * cfg.num_vls)
+            self.arbiter = WeightedVlArbiter(
+                VlArbitrationTable.from_weights(weights)
+            )
+        self._wire_busy = False
+        self._rr = 0
+        self.packets_sent = 0
+        self.busy_time = 0.0
+        self._last_start = 0.0
+
+    # ------------------------------------------------------------------
+    def connect(self, receiver: object) -> None:
+        """Attach the receiving side (must expose ``receive(packet)``)."""
+        self.receiver = receiver
+
+    def can_accept(self, vl: int) -> bool:
+        """Space in the output buffer for ``vl``?"""
+        return self.buffers[vl].can_accept()
+
+    def accept(self, packet: Packet) -> None:
+        """Place a packet into its VL's output buffer and try to send."""
+        self.buffers[packet.vl].push(packet)
+        self.kick()
+
+    def credit_return(self, vl: int) -> None:
+        """The remote input buffer freed one slot for ``vl``."""
+        self.credits[vl].restore()
+        self.kick()
+
+    # ------------------------------------------------------------------
+    def kick(self) -> None:
+        """Start a transmission if the wire is idle and some VL is ready."""
+        if self._wire_busy:
+            return
+        vl = self._pick_vl()
+        if vl < 0:
+            return
+        packet = self.buffers[vl].head()
+        if self.arbiter is not None:
+            self.arbiter.charge(vl, packet.size_bytes)
+        self.credits[vl].consume()
+        self._wire_busy = True
+        self._last_start = self.engine.now
+        if packet.t_injected < 0:
+            packet.t_injected = self.engine.now
+        receiver = self.receiver
+        self.engine.schedule_after(
+            self.cfg.flying_time_ns, lambda: receiver.receive(packet)
+        )
+        self.engine.schedule_after(
+            packet.size_bytes * self.cfg.byte_time_ns,
+            lambda: self._tx_done(vl),
+        )
+
+    def _pick_vl(self) -> int:
+        """Next VL to send: arbitration-table pick when configured,
+        else round-robin over VLs with a buffered packet and a credit."""
+        if self.arbiter is not None:
+            return self.arbiter.pick(
+                lambda vl: self.buffers[vl].head() is not None
+                and self.credits[vl].can_send()
+            )
+        nvl = self.cfg.num_vls
+        for i in range(nvl):
+            vl = (self._rr + i) % nvl
+            if self.buffers[vl].head() is not None and self.credits[vl].can_send():
+                self._rr = (vl + 1) % nvl
+                return vl
+        return -1
+
+    def _tx_done(self, vl: int) -> None:
+        """Tail left the wire: free the slot, serve waiters, continue."""
+        self._wire_busy = False
+        self.busy_time += self.engine.now - self._last_start
+        self.buffers[vl].pop()
+        self.packets_sent += 1
+        if self.waiters[vl]:
+            # Crossbar arbitration: oldest blocked requester wins the slot.
+            self.waiters[vl].popleft()()
+        elif self.on_free is not None:
+            self.on_free(vl)
+        self.kick()
+
+    # ------------------------------------------------------------------
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` the wire spent transmitting."""
+        if elapsed <= 0:
+            raise ValueError(f"elapsed must be positive, got {elapsed}")
+        busy = self.busy_time
+        if self._wire_busy:
+            busy += self.engine.now - self._last_start
+        return busy / elapsed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Transmitter({self.name!r}, busy={self._wire_busy})"

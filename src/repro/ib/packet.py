@@ -1,0 +1,80 @@
+"""InfiniBand packets.
+
+Only the Local Route Header fields the simulator routes on are carried
+(SLID, DLID), plus bookkeeping used for measurement: creation time,
+source/destination PIDs and the hop count.  Packets are mutable (hops
+and VL are stamped en route) and slot-based — millions are created per
+run.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+
+__all__ = ["Packet"]
+
+_SERIAL = count()
+
+
+class Packet:
+    """One IBA data packet."""
+
+    __slots__ = (
+        "serial",
+        "slid",
+        "dlid",
+        "src_pid",
+        "dst_pid",
+        "size_bytes",
+        "vl",
+        "t_created",
+        "t_injected",
+        "t_delivered",
+        "hops",
+        "message_id",
+        "is_message_tail",
+        "route",
+    )
+
+    def __init__(
+        self,
+        slid: int,
+        dlid: int,
+        src_pid: int,
+        dst_pid: int,
+        size_bytes: int,
+        vl: int,
+        t_created: float,
+        message_id: int = -1,
+        is_message_tail: bool = True,
+    ):
+        self.serial = next(_SERIAL)
+        self.slid = slid
+        self.dlid = dlid
+        self.src_pid = src_pid
+        self.dst_pid = dst_pid
+        self.size_bytes = size_bytes
+        self.vl = vl
+        self.t_created = t_created
+        self.t_injected: float = -1.0  # stamped when wire transmission starts
+        self.t_delivered: float = -1.0  # stamped at tail arrival at the sink
+        self.hops = 0
+        #: multi-packet messages: shared id and last-packet marker.
+        self.message_id = message_id if message_id >= 0 else self.serial
+        self.is_message_tail = is_message_tail
+        #: switch-by-switch route, recorded when
+        #: ``SimConfig.record_routes`` is enabled (None otherwise).
+        self.route = None
+
+    @property
+    def latency(self) -> float:
+        """Creation-to-delivery latency; raises if not yet delivered."""
+        if self.t_delivered < 0:
+            raise RuntimeError(f"packet {self.serial} not delivered yet")
+        return self.t_delivered - self.t_created
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet(#{self.serial} {self.src_pid}->{self.dst_pid} "
+            f"dlid={self.dlid} vl={self.vl} hops={self.hops})"
+        )

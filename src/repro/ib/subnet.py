@@ -1,0 +1,219 @@
+"""Subnet assembly: fat-tree + routing scheme + simulator components.
+
+:func:`build_subnet` instantiates one simulatable IBFT(m, n) subnet:
+an :class:`~repro.sim.engine.Engine`, a
+:class:`~repro.ib.switch.SwitchModel` per fat-tree switch (LFTs
+programmed by the :class:`~repro.ib.sm.SubnetManager`), an
+:class:`~repro.ib.endnode.Endnode` per processing node, and a
+:class:`~repro.ib.link.Transmitter` pair per physical link.  The
+:class:`Subnet` facade then drives traffic and collects the paper's
+two measurements.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.scheme import RoutingScheme, get_scheme
+from repro.ib.config import SimConfig
+from repro.ib.endnode import Endnode
+from repro.ib.sm import SubnetManager
+from repro.ib.switch import SwitchModel
+from repro.sim.engine import Engine
+from repro.sim.rng import spawn_rngs
+from repro.sim.stats import LatencyStats, ThroughputMeter, WarmupFilter
+from repro.topology.fattree import FatTree
+from repro.topology.labels import SwitchLabel, format_switch
+
+__all__ = ["Subnet", "build_subnet"]
+
+
+class Subnet:
+    """One fully-wired, simulatable InfiniBand subnet."""
+
+    def __init__(
+        self,
+        ft: FatTree,
+        scheme: RoutingScheme,
+        cfg: SimConfig,
+        engine: Engine,
+        switches: Dict[SwitchLabel, SwitchModel],
+        endnodes: List[Endnode],
+    ):
+        self.ft = ft
+        self.scheme = scheme
+        self.cfg = cfg
+        self.engine = engine
+        self.switches = switches
+        self.endnodes = endnodes
+        self.latency: Optional[LatencyStats] = None
+        self.throughput: Optional[ThroughputMeter] = None
+        # Dense DLID matrix (vectorized per scheme where possible).
+        self._dlid = scheme.dlid_matrix().reshape(-1)
+        for node in endnodes:
+            node.dlid_for = self.dlid_for
+
+    # ------------------------------------------------------------------
+    def dlid_for(self, src_pid: int, dst_pid: int) -> int:
+        """Path-selected DLID for a (source, destination) PID pair."""
+        if src_pid == dst_pid:
+            raise ValueError(f"src == dst == {src_pid}")
+        return int(self._dlid[src_pid * self.ft.num_nodes + dst_pid])
+
+    @property
+    def num_nodes(self) -> int:
+        return self.ft.num_nodes
+
+    # ------------------------------------------------------------------
+    def attach_pattern(
+        self, pattern: Callable[[int], Callable[[np.random.Generator], int]]
+    ) -> None:
+        """Give every endnode its destination chooser.
+
+        ``pattern(pid)`` must return a callable drawing a destination
+        PID (!= pid) from a supplied RNG.
+        """
+        for node in self.endnodes:
+            node.choose_destination = pattern(node.pid)
+
+    def run_measurement(
+        self,
+        offered_load: float,
+        warmup_ns: float,
+        measure_ns: float,
+    ) -> dict:
+        """Drive the subnet at ``offered_load`` bytes/ns/node and measure.
+
+        Returns the paper's per-run record: offered load, accepted
+        traffic (bytes/ns/node) and mean latency (ns), plus extras.
+        """
+        if warmup_ns < 0 or measure_ns <= 0:
+            raise ValueError("warmup must be >= 0 and measure window positive")
+        if getattr(self, "_measured", False):
+            raise RuntimeError(
+                "run_measurement is single-shot; build a fresh subnet per run"
+            )
+        self._measured = True
+        window = WarmupFilter(warmup_ns, warmup_ns + measure_ns)
+        self.latency = LatencyStats(keep_samples=True)
+        self.net_latency = LatencyStats(keep_samples=True)
+        self.throughput = ThroughputMeter(window)
+        for node in self.endnodes:
+            node.latency = self.latency
+            node.net_latency = self.net_latency
+            node.throughput = self.throughput
+        rate = self.cfg.offered_load_to_rate(offered_load)
+        for node in self.endnodes:
+            node.start_generation(rate)
+        self.engine.run(until=window.measure_end)
+        accepted = self.throughput.accepted_traffic(self.num_nodes)
+        return {
+            "offered": offered_load,
+            "accepted": accepted,
+            "latency_mean": self.net_latency.mean,
+            "latency_p99": self.net_latency.percentile(99)
+            if self.net_latency.count
+            else math.nan,
+            "latency_total_mean": self.latency.mean,
+            "packets": self.throughput.packets_delivered,
+            "backlog": sum(node.backlog for node in self.endnodes),
+            "events": self.engine.events_processed,
+            "fairness": self.receive_fairness(),
+        }
+
+    def receive_fairness(self) -> float:
+        """Jain's fairness index over per-destination deliveries in the
+        window: 1.0 = perfectly even, 1/N = one node got everything.
+        NaN when nothing was delivered."""
+        if self.throughput is None:
+            raise RuntimeError("no measurement has been run")
+        counts = self.throughput.per_destination
+        xs = [counts.get(pid, 0) for pid in range(self.num_nodes)]
+        total = sum(xs)
+        if total == 0:
+            return math.nan
+        return total * total / (self.num_nodes * sum(x * x for x in xs))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Subnet(FT({self.ft.m},{self.ft.n}), scheme={self.scheme.name}, "
+            f"vls={self.cfg.num_vls})"
+        )
+
+
+def build_subnet(
+    m: int,
+    n: int,
+    scheme: str | RoutingScheme = "mlid",
+    cfg: Optional[SimConfig] = None,
+    seed: int = 0,
+) -> Subnet:
+    """Construct and wire a complete IBFT(m, n) subnet.
+
+    Parameters
+    ----------
+    m, n:
+        Fat-tree parameters.
+    scheme:
+        ``"mlid"``, ``"slid"`` or an already-built scheme instance.
+    cfg:
+        Simulation constants; defaults to the paper's.
+    seed:
+        Root seed for all per-node random streams.
+    """
+    cfg = cfg or SimConfig()
+    ft = FatTree(m, n)
+    if isinstance(scheme, str):
+        scheme_obj = get_scheme(scheme, ft)
+    else:
+        scheme_obj = scheme
+        if scheme_obj.ft is not ft and (
+            scheme_obj.ft.m != m or scheme_obj.ft.n != n
+        ):
+            raise ValueError("scheme was built for a different FT(m, n)")
+        ft = scheme_obj.ft
+
+    engine = Engine()
+    sm = SubnetManager(scheme_obj)
+    lfts = sm.configure()
+
+    switches: Dict[SwitchLabel, SwitchModel] = {}
+    for sw in ft.switches:
+        model = SwitchModel(
+            engine, cfg, format_switch(*sw), num_ports=m, lft=lfts[sw]
+        )
+        for port in range(1, m + 1):
+            model.add_port(port)
+        switches[sw] = model
+
+    rngs = spawn_rngs(seed, ft.num_nodes)
+    endnodes: List[Endnode] = []
+    for pid, label in enumerate(ft.nodes):
+        node = Endnode(
+            engine, cfg, pid=pid, slid=scheme_obj.base_lid(label), rng=rngs[pid]
+        )
+        endnodes.append(node)
+
+    # Wire every link (both directions) and the node attachments.
+    for sw in ft.switches:
+        model = switches[sw]
+        for k, ep in enumerate(ft.ports(sw)):
+            phys = k + 1
+            if ep.is_node:
+                node = endnodes[ft.node_id(ep.node)]
+                # switch -> node
+                model.tx[phys].connect(node)
+                node.upstream = model.tx[phys]
+                # node -> switch
+                node.tx.connect(model.rx[phys])
+                model.rx[phys].upstream = node.tx
+            else:
+                peer_model = switches[ep.switch]
+                peer_phys = ep.port + 1
+                model.tx[phys].connect(peer_model.rx[peer_phys])
+                peer_model.rx[peer_phys].upstream = model.tx[phys]
+
+    return Subnet(ft, scheme_obj, cfg, engine, switches, endnodes)

@@ -1,0 +1,186 @@
+"""The m-port crossbar switch model (paper §5.1).
+
+Each physical port (1 … m; port 0 is the unmodelled management port)
+has a receiving side (:class:`InputUnit`, per-VL input buffers plus the
+routing pipeline) and a sending side (a
+:class:`~repro.ib.link.Transmitter`).  The crossbar is non-blocking:
+any number of input→output moves can happen simultaneously; the only
+contention points are the output buffers (one packet per VL) and the
+wires themselves — exactly the paper's model.
+
+Per-packet sequence at a switch:
+
+1. header arrives (credit guaranteed a free input slot);
+2. after ``routing_time_ns`` (table lookup + arbitration + startup)
+   the LFT gives the output port;
+3. if that port's output buffer for the packet's VL has space the
+   packet moves through the crossbar (input slot frees, a credit
+   flies back upstream); otherwise the packet waits in its input
+   buffer and is granted the slot FIFO when one frees (head-of-line
+   blocking within a VL, as in the paper);
+4. the output transmitter sends it on (see :mod:`repro.ib.link`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.ib.buffers import VlBuffer
+from repro.ib.config import SimConfig
+from repro.ib.lft import LinearForwardingTable
+from repro.ib.link import Transmitter
+from repro.ib.packet import Packet
+from repro.sim.engine import Engine
+
+__all__ = ["InputUnit", "RoutingEngine", "SwitchModel"]
+
+
+class RoutingEngine:
+    """The switch's routing resource: forwarding-table lookup,
+    arbitration and message startup, ``routing_time_ns`` per packet.
+
+    ``capacity`` concurrent operations are allowed (the paper's wording
+    — "the routing time of a packet from one input port to one output
+    port of the crossbar in a switch" — describes a shared per-switch
+    resource; capacity 1 is the default, 0 means one engine per
+    input-port/VL pair, i.e. effectively unlimited).  Requests are
+    served FIFO.
+    """
+
+    __slots__ = ("engine", "routing_time", "capacity", "active", "queue", "ops")
+
+    def __init__(self, engine: Engine, routing_time: float, capacity: int):
+        self.engine = engine
+        self.routing_time = routing_time
+        self.capacity = capacity  # 0 = unlimited
+        self.active = 0
+        self.queue: Deque[Callable[[], None]] = deque()
+        self.ops = 0  # total routing operations performed
+
+    def request(self, done: Callable[[], None]) -> None:
+        """Ask for one routing operation; ``done`` fires when it completes."""
+        if self.capacity and self.active >= self.capacity:
+            self.queue.append(done)
+            return
+        self._start(done)
+
+    def _start(self, done: Callable[[], None]) -> None:
+        self.active += 1
+        self.ops += 1
+        self.engine.schedule_after(self.routing_time, lambda: self._finish(done))
+
+    def _finish(self, done: Callable[[], None]) -> None:
+        self.active -= 1
+        if self.queue:
+            self._start(self.queue.popleft())
+        done()
+
+
+class InputUnit:
+    """Receiving side of one switch port: per-VL buffers + routing."""
+
+    __slots__ = ("engine", "cfg", "switch", "port", "buffers", "upstream", "_routing")
+
+    def __init__(self, engine: Engine, cfg: SimConfig, switch: "SwitchModel", port: int):
+        self.engine = engine
+        self.cfg = cfg
+        self.switch = switch
+        self.port = port
+        self.buffers: List[VlBuffer] = [
+            VlBuffer(cfg.buffer_packets_per_vl) for _ in range(cfg.num_vls)
+        ]
+        self.upstream: Optional[Transmitter] = None  # credit target
+        # Is the head of each VL currently inside the routing pipeline
+        # or blocked on an output buffer?  Prevents double-routing.
+        self._routing: List[bool] = [False] * cfg.num_vls
+
+    def receive(self, packet: Packet) -> None:
+        """Header arrival from the wire."""
+        vl = packet.vl
+        self.buffers[vl].push(packet)  # raises on flow-control violation
+        if not self._routing[vl]:
+            self._start_routing(vl)
+
+    def _start_routing(self, vl: int) -> None:
+        self._routing[vl] = True
+        self.switch.router.request(lambda: self._routed(vl))
+
+    def _routed(self, vl: int) -> None:
+        """Routing decided for the head packet of ``vl``; request output."""
+        packet = self.buffers[vl].head()
+        out_port = self.switch.lft.lookup(packet.dlid)
+        if out_port == self.port:
+            raise RuntimeError(
+                f"switch {self.switch.name}: DLID {packet.dlid} routed back "
+                f"out of its input port {self.port}"
+            )
+        tx = self.switch.tx[out_port]
+        if tx.can_accept(vl):
+            self._move(vl, tx)
+        else:
+            tx.waiters[vl].append(lambda: self._move(vl, tx))
+
+    def _move(self, vl: int, tx: Transmitter) -> None:
+        """Crossbar transfer: input slot frees, credit returns upstream."""
+        packet = self.buffers[vl].pop()
+        packet.hops += 1
+        if self.cfg.record_routes:
+            if packet.route is None:
+                packet.route = []
+            packet.route.append(self.switch.name)
+        self._routing[vl] = False
+        upstream = self.upstream
+        if upstream is not None:
+            self.engine.schedule_after(
+                self.cfg.flying_time_ns, lambda: upstream.credit_return(vl)
+            )
+        tx.accept(packet)
+        # Route the next packet of this VL, if any.
+        if self.buffers[vl].head() is not None:
+            self._start_routing(vl)
+
+
+class SwitchModel:
+    """One m-port InfiniBand switch."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        cfg: SimConfig,
+        name: str,
+        num_ports: int,
+        lft: LinearForwardingTable,
+    ):
+        if num_ports < 2:
+            raise ValueError(f"a switch needs >= 2 ports, got {num_ports}")
+        if lft.num_physical_ports != num_ports:
+            raise ValueError(
+                f"LFT is sized for {lft.num_physical_ports} ports, "
+                f"switch has {num_ports}"
+            )
+        self.engine = engine
+        self.cfg = cfg
+        self.name = name
+        self.num_ports = num_ports
+        self.lft = lft
+        self.router = RoutingEngine(
+            engine, cfg.routing_time_ns, cfg.routing_engines_per_switch
+        )
+        #: physical port -> units; populated lazily by the wiring code
+        self.rx: Dict[int, InputUnit] = {}
+        self.tx: Dict[int, Transmitter] = {}
+
+    def add_port(self, port: int) -> None:
+        """Instantiate the RX/TX pair for a physical port (1-based)."""
+        if not 1 <= port <= self.num_ports:
+            raise ValueError(
+                f"physical port must be in [1, {self.num_ports}], got {port}"
+            )
+        if port in self.rx:
+            raise ValueError(f"port {port} of {self.name} already added")
+        self.rx[port] = InputUnit(self.engine, self.cfg, self, port)
+        self.tx[port] = Transmitter(self.engine, self.cfg, f"{self.name}.tx{port}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SwitchModel({self.name!r}, ports={sorted(self.tx)})"

@@ -1,0 +1,177 @@
+"""IBA VL arbitration tables (InfiniBand spec §7.6.9, simplified).
+
+The paper's transmitters arbitrate VLs round-robin.  Real IBA ports
+carry a *VLArbitration* attribute: a high-priority and a low-priority
+table of (VL, weight) entries plus a high-priority limit.  Weights are
+in units of 64 bytes; an entry lets its VL transmit until the weight is
+exhausted or the VL runs dry, then arbitration advances.  High-priority
+entries pre-empt low-priority ones between packets, bounded by the
+limit so low-priority VLs cannot starve.
+
+This module implements that mechanism faithfully enough for QoS
+experiments (ablation A8): strict table order, 64-byte weight units,
+weight carry per entry, the high-priority limit counter.  The paper's
+plain round-robin remains the default (``SimConfig.vl_arbitration ==
+"roundrobin"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, Tuple
+
+__all__ = [
+    "WEIGHT_UNIT_BYTES",
+    "VlArbEntry",
+    "VlArbitrationTable",
+    "WeightedVlArbiter",
+]
+
+#: IBA weights are in units of 64 bytes.
+WEIGHT_UNIT_BYTES = 64
+#: IBA weight field is 8 bits.
+MAX_WEIGHT = 255
+
+
+@dataclass(frozen=True)
+class VlArbEntry:
+    """One (VL, weight) slot of an arbitration table."""
+
+    vl: int
+    weight: int
+
+    def __post_init__(self) -> None:
+        if self.vl < 0:
+            raise ValueError(f"vl must be non-negative, got {self.vl}")
+        if not 0 <= self.weight <= MAX_WEIGHT:
+            raise ValueError(
+                f"weight must be in [0, {MAX_WEIGHT}], got {self.weight}"
+            )
+
+
+@dataclass(frozen=True)
+class VlArbitrationTable:
+    """High and low priority entry lists plus the high-priority limit.
+
+    ``limit_high`` bounds how many consecutive high-priority *weight
+    units* may be sent while low-priority traffic waits; 0 means a
+    single high-priority packet burst, 255 means unlimited (IBA
+    semantics, simplified to unit granularity).
+    """
+
+    low: Tuple[VlArbEntry, ...]
+    high: Tuple[VlArbEntry, ...] = ()
+    limit_high: int = 255
+
+    def __post_init__(self) -> None:
+        if not self.low and not self.high:
+            raise ValueError("arbitration table needs at least one entry")
+        if not 0 <= self.limit_high <= 255:
+            raise ValueError(f"limit_high must be in [0, 255], got {self.limit_high}")
+
+    @classmethod
+    def uniform(cls, num_vls: int, weight: int = 4) -> "VlArbitrationTable":
+        """Equal-weight low-priority table over all VLs."""
+        return cls(low=tuple(VlArbEntry(vl, weight) for vl in range(num_vls)))
+
+    @classmethod
+    def from_weights(cls, weights: Sequence[int]) -> "VlArbitrationTable":
+        """Low-priority table with ``weights[vl]`` per VL (0 skips)."""
+        entries = tuple(
+            VlArbEntry(vl, w) for vl, w in enumerate(weights) if w > 0
+        )
+        return cls(low=entries)
+
+
+class _TableState:
+    """Cursor over one priority table: active entry + remaining units."""
+
+    __slots__ = ("entries", "index", "remaining")
+
+    def __init__(self, entries: Tuple[VlArbEntry, ...]):
+        self.entries = entries
+        self.index = 0
+        self.remaining = entries[0].weight if entries else 0
+
+    def pick(self, ready: Callable[[int], bool]) -> int:
+        """Next sendable VL per table order, or -1.
+
+        The active entry keeps transmitting while it has weight and
+        data; otherwise arbitration advances (recharging each entry's
+        weight as it becomes active).
+        """
+        if not self.entries:
+            return -1
+        count = len(self.entries)
+        for step in range(count):
+            idx = (self.index + step) % count
+            entry = self.entries[idx]
+            if step > 0:
+                # Advancing recharges the newly active entry.
+                self.index = idx
+                self.remaining = entry.weight
+            if self.remaining > 0 and entry.weight > 0 and ready(entry.vl):
+                return entry.vl
+        # Full lap without a sendable VL: recharge the entry after the
+        # original position so progress resumes immediately next time.
+        self.index = (self.index + 1) % count
+        self.remaining = self.entries[self.index].weight
+        return -1
+
+    def charge(self, nbytes: int) -> None:
+        """Deduct a transmitted packet from the active entry."""
+        units = max(1, (nbytes + WEIGHT_UNIT_BYTES - 1) // WEIGHT_UNIT_BYTES)
+        self.remaining -= units
+        if self.remaining <= 0:
+            self.index = (self.index + 1) % len(self.entries)
+            self.remaining = self.entries[self.index].weight
+
+
+class WeightedVlArbiter:
+    """IBA-style two-level weighted VL arbiter.
+
+    Drop-in replacement for the transmitter's round-robin ``_pick_vl``:
+    ``pick(ready)`` returns the VL to send (or -1), ``charge(vl,
+    nbytes)`` accounts a transmitted packet.
+    """
+
+    def __init__(self, table: VlArbitrationTable):
+        self.table = table
+        self._high = _TableState(table.high)
+        self._low = _TableState(table.low)
+        self._high_units_since_low = 0
+        self._last_was_high = False
+
+    def pick(self, ready: Callable[[int], bool]) -> int:
+        limit_units = self.table.limit_high * (MAX_WEIGHT + 1) if (
+            self.table.limit_high == 255
+        ) else self.table.limit_high
+        if self.table.high and (
+            self.table.limit_high == 255
+            or self._high_units_since_low < limit_units
+        ):
+            vl = self._high.pick(ready)
+            if vl >= 0:
+                self._last_was_high = True
+                return vl
+        vl = self._low.pick(ready)
+        if vl >= 0:
+            self._last_was_high = False
+            return vl
+        # Low empty: high may still send even past the limit when no
+        # low-priority traffic waits (no starvation to prevent).
+        if self.table.high:
+            vl = self._high.pick(ready)
+            if vl >= 0:
+                self._last_was_high = True
+                return vl
+        return -1
+
+    def charge(self, vl: int, nbytes: int) -> None:
+        units = max(1, (nbytes + WEIGHT_UNIT_BYTES - 1) // WEIGHT_UNIT_BYTES)
+        if self._last_was_high:
+            self._high.charge(nbytes)
+            self._high_units_since_low += units
+        else:
+            self._low.charge(nbytes)
+            self._high_units_since_low = 0

@@ -1,0 +1,148 @@
+"""Measurement collectors for simulation runs.
+
+The paper reports two quantities per run:
+
+* **accepted traffic** — bytes/ns delivered per processing node, and
+* **average message latency** — mean ns from transmission initiation to
+  reception at the destination,
+
+measured after a warm-up period so start-up transients do not bias the
+steady-state estimate.  :class:`WarmupFilter` implements the cutoff,
+:class:`LatencyStats` the latency accumulation (with percentiles for
+the extended analyses), and :class:`ThroughputMeter` accepted traffic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["LatencyStats", "ThroughputMeter", "WarmupFilter"]
+
+
+class WarmupFilter:
+    """Decides whether a sample falls inside the measurement window."""
+
+    __slots__ = ("warmup_end", "measure_end")
+
+    def __init__(self, warmup_end: float, measure_end: float = math.inf):
+        if measure_end < warmup_end:
+            raise ValueError(
+                f"measure_end ({measure_end}) precedes warmup_end ({warmup_end})"
+            )
+        self.warmup_end = warmup_end
+        self.measure_end = measure_end
+
+    def accepts(self, time: float) -> bool:
+        """True if an observation at ``time`` should be recorded."""
+        return self.warmup_end <= time <= self.measure_end
+
+    @property
+    def window(self) -> float:
+        """Length of the measurement window (ns)."""
+        return self.measure_end - self.warmup_end
+
+
+class LatencyStats:
+    """Streaming latency accumulator (count/mean/min/max/variance) with
+    an optional reservoir of raw samples for percentile queries.
+
+    Uses Welford's online algorithm so the variance is numerically
+    stable over millions of samples.
+    """
+
+    __slots__ = ("count", "_mean", "_m2", "min", "max", "_samples", "_keep_samples")
+
+    def __init__(self, keep_samples: bool = True):
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._keep_samples = keep_samples
+        self._samples: list[float] = []
+
+    def record(self, latency: float) -> None:
+        """Add one latency observation (ns)."""
+        if latency < 0:
+            raise ValueError(f"negative latency {latency}")
+        self.count += 1
+        delta = latency - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (latency - self._mean)
+        if latency < self.min:
+            self.min = latency
+        if latency > self.max:
+            self.max = latency
+        if self._keep_samples:
+            self._samples.append(latency)
+
+    @property
+    def mean(self) -> float:
+        """Mean latency, or NaN when no samples were recorded."""
+        return self._mean if self.count else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (ddof=1); NaN with fewer than two samples."""
+        return self._m2 / (self.count - 1) if self.count > 1 else math.nan
+
+    @property
+    def stdev(self) -> float:
+        v = self.variance
+        return math.sqrt(v) if v == v else math.nan  # NaN-propagating
+
+    def percentile(self, q: float) -> float:
+        """q-th percentile (0..100) of retained samples (nearest-rank)."""
+        if not self._keep_samples:
+            raise RuntimeError("samples were not retained (keep_samples=False)")
+        if not self._samples:
+            return math.nan
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile out of range: {q}")
+        ordered = sorted(self._samples)
+        rank = max(0, math.ceil(q / 100.0 * len(ordered)) - 1)
+        return ordered[rank]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LatencyStats(n={self.count}, mean={self.mean:.1f}ns)"
+
+
+@dataclass
+class ThroughputMeter:
+    """Accumulates delivered bytes inside a measurement window.
+
+    ``accepted_traffic(nodes)`` converts to the paper's unit:
+    bytes per nanosecond per processing node.
+    """
+
+    window: WarmupFilter
+    bytes_delivered: int = 0
+    packets_delivered: int = 0
+    _per_destination: dict[int, int] = field(default_factory=dict)
+
+    def record(self, time: float, nbytes: int, destination: int | None = None) -> None:
+        """Record a packet of ``nbytes`` delivered at simulated ``time``."""
+        if not self.window.accepts(time):
+            return
+        self.bytes_delivered += nbytes
+        self.packets_delivered += 1
+        if destination is not None:
+            self._per_destination[destination] = (
+                self._per_destination.get(destination, 0) + 1
+            )
+
+    def accepted_traffic(self, num_nodes: int) -> float:
+        """Bytes/ns/node over the measurement window (the paper's y-metric
+        on the x-axis of Figures 12-19)."""
+        if num_nodes <= 0:
+            raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+        span = self.window.window
+        if not math.isfinite(span) or span <= 0:
+            raise RuntimeError("measurement window is unbounded or empty")
+        return self.bytes_delivered / span / num_nodes
+
+    @property
+    def per_destination(self) -> dict[int, int]:
+        """Packets delivered per destination PID (hotspot diagnostics)."""
+        return dict(self._per_destination)

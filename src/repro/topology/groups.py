@@ -1,0 +1,195 @@
+"""Definitions 1-4 of the paper: gcp, lca, gcpg, rank, and PID.
+
+These are pure functions of labels; they do not need a constructed
+:class:`~repro.topology.fattree.FatTree`.
+
+Radix convention
+----------------
+A node label ``p = p0 p1 … p_{n-1}`` is a mixed-radix numeral: digit 0
+has radix ``m`` and digits 1 … n-1 have radix ``m/2``.  The PID is its
+value, so ``PID ∈ [0, 2*(m/2)^n)`` and lexicographic label order equals
+PID order.  The rank of a node inside ``gcpg(x, α)`` is the value of
+the suffix ``p_α … p_{n-1}`` in the same radix system (Definition 4).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.topology.labels import (
+    NodeLabel,
+    SwitchLabel,
+    check_arity,
+    validate_node_label,
+)
+
+__all__ = [
+    "gcp",
+    "gcp_length",
+    "lca",
+    "gcpg",
+    "gcpg_size",
+    "rank_in_gcpg",
+    "pid",
+    "node_from_pid",
+    "num_nodes",
+    "num_switches",
+    "paths_between",
+]
+
+
+def num_nodes(m: int, n: int) -> int:
+    """Number of processing nodes of FT(m, n): ``2 * (m/2)^n``."""
+    check_arity(m, n)
+    return 2 * (m // 2) ** n
+
+
+def num_switches(m: int, n: int) -> int:
+    """Number of switches of FT(m, n): ``(2n - 1) * (m/2)^(n-1)``."""
+    check_arity(m, n)
+    return (2 * n - 1) * (m // 2) ** (n - 1)
+
+
+def gcp(p: NodeLabel, q: NodeLabel) -> Tuple[int, ...]:
+    """Greatest common prefix of two node labels (Definition 1)."""
+    out: List[int] = []
+    for a, b in zip(p, q):
+        if a != b:
+            break
+        out.append(a)
+    return tuple(out)
+
+
+def gcp_length(p: NodeLabel, q: NodeLabel) -> int:
+    """Length α of the greatest common prefix."""
+    alpha = 0
+    for a, b in zip(p, q):
+        if a != b:
+            break
+        alpha += 1
+    return alpha
+
+
+def lca(m: int, n: int, p: NodeLabel, q: NodeLabel) -> List[SwitchLabel]:
+    """Least common ancestor switches of two distinct nodes (Definition 2).
+
+    ``lca(P(p), P(q)) = { SW<w, α> : w0…w_{α-1} = p0…p_{α-1} }`` where
+    α = |gcp|.  For nodes on the same leaf switch (α = n) the result is
+    that single leaf switch.
+    """
+    validate_node_label(m, n, p)
+    validate_node_label(m, n, q)
+    if p == q:
+        raise ValueError(f"lca undefined for identical nodes {p!r}")
+    alpha = gcp_length(p, q)
+    half = m // 2
+    if alpha >= n:  # same leaf switch: only differs in last digit
+        return [(p[: n - 1], n - 1)]
+    prefix = p[:alpha]
+    free = n - 1 - alpha
+    if free == 0:
+        return [(prefix, alpha)]
+    out: List[SwitchLabel] = []
+    # Free positions alpha..n-2 each range over m/2 values (position 0
+    # is free only when alpha == 0, and root switches cap w0 at m/2).
+    def expand(suffix: Tuple[int, ...]) -> None:
+        if len(suffix) == free:
+            out.append((prefix + suffix, alpha))
+            return
+        for d in range(half):
+            expand(suffix + (d,))
+
+    expand(())
+    return out
+
+
+def gcpg(m: int, n: int, x: Tuple[int, ...]) -> Iterator[NodeLabel]:
+    """All nodes of the greatest-common-prefix group gcpg(x, |x|)
+    (Definition 3), in PID order."""
+    check_arity(m, n)
+    alpha = len(x)
+    if alpha > n:
+        raise ValueError(f"prefix longer than label: {x!r}")
+    half = m // 2
+    if alpha == 0:
+        from repro.topology.labels import node_labels
+
+        yield from node_labels(m, n)
+        return
+    if not 0 <= x[0] < m:
+        raise ValueError(f"invalid prefix digit 0 in {x!r}")
+    for i in range(1, alpha):
+        if not 0 <= x[i] < half:
+            raise ValueError(f"invalid prefix digit {i} in {x!r}")
+
+    def expand(label: Tuple[int, ...]) -> Iterator[NodeLabel]:
+        if len(label) == n:
+            yield label
+            return
+        for d in range(half):
+            yield from expand(label + (d,))
+
+    yield from expand(x)
+
+
+def gcpg_size(m: int, n: int, alpha: int) -> int:
+    """|gcpg(x, α)|: ``2*(m/2)^n`` when α = 0, else ``(m/2)^(n-α)``."""
+    check_arity(m, n)
+    if not 0 <= alpha <= n:
+        raise ValueError(f"alpha must be in [0, {n}], got {alpha}")
+    half = m // 2
+    return 2 * half**n if alpha == 0 else half ** (n - alpha)
+
+
+def rank_in_gcpg(m: int, n: int, alpha: int, p: NodeLabel) -> int:
+    """Rank of node ``p`` inside gcpg(p[:α], α) (Definition 4).
+
+    The mixed-radix value of the suffix ``p_α … p_{n-1}``; for α = 0
+    this is the PID.
+    """
+    validate_node_label(m, n, p)
+    if not 0 <= alpha <= n:
+        raise ValueError(f"alpha must be in [0, {n}], got {alpha}")
+    half = m // 2
+    value = 0
+    for i in range(alpha, n):
+        radix = m if i == 0 else half
+        value = value * radix + p[i]
+    return value
+
+
+def pid(m: int, n: int, p: NodeLabel) -> int:
+    """The PID of a processing node: its rank in gcpg(ε, 0)."""
+    return rank_in_gcpg(m, n, 0, p)
+
+
+def node_from_pid(m: int, n: int, node_pid: int) -> NodeLabel:
+    """Inverse of :func:`pid` — decode a PID back into a node label."""
+    check_arity(m, n)
+    total = num_nodes(m, n)
+    if not 0 <= node_pid < total:
+        raise ValueError(f"PID must be in [0, {total}), got {node_pid}")
+    half = m // 2
+    digits = [0] * n
+    value = node_pid
+    for i in range(n - 1, 0, -1):
+        digits[i] = value % half
+        value //= half
+    digits[0] = value
+    return tuple(digits)
+
+
+def paths_between(m: int, n: int, p: NodeLabel, q: NodeLabel) -> int:
+    """Number of distinct minimal paths between two distinct nodes.
+
+    Equals the number of least common ancestors, ``(m/2)^(n-1-α)`` for
+    α < n and 1 for nodes sharing a leaf switch.
+    """
+    validate_node_label(m, n, p)
+    validate_node_label(m, n, q)
+    if p == q:
+        raise ValueError("no path between a node and itself")
+    alpha = gcp_length(p, q)
+    if alpha >= n - 1:
+        return 1
+    return (m // 2) ** (n - 1 - alpha)

@@ -1,0 +1,124 @@
+"""Label algebra for m-port n-trees.
+
+The paper labels a processing node of ``FT(m, n)`` as
+``P(p) = P(p0 p1 … p_{n-1})`` with
+
+* ``p0 ∈ {0, …, m-1}`` (the node's top-level half plus subtree), and
+* ``p_i ∈ {0, …, m/2-1}`` for ``i ≥ 1``,
+
+and a communication switch as ``SW<w, l>`` with level
+``l ∈ {0, …, n-1}`` (level 0 = root row, level n-1 = leaf row) and
+``w = w0 w1 … w_{n-2}`` where
+
+* ``w0 ∈ {0, …, m-1}`` when ``l ≥ 1`` and ``w0 ∈ {0, …, m/2-1}`` when
+  ``l = 0`` (root switches only need m/2-ary digits), and
+* ``w_i ∈ {0, …, m/2-1}`` for ``i ≥ 1``.
+
+Labels are plain tuples of ints — hashable, comparable, cheap.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterator, Tuple
+
+__all__ = [
+    "NodeLabel",
+    "SwitchLabel",
+    "check_arity",
+    "node_labels",
+    "switch_labels",
+    "validate_node_label",
+    "validate_switch_label",
+    "format_node",
+    "format_switch",
+]
+
+#: A processing-node label ``(p0, …, p_{n-1})``.
+NodeLabel = Tuple[int, ...]
+#: A switch label ``((w0, …, w_{n-2}), level)``.
+SwitchLabel = Tuple[Tuple[int, ...], int]
+
+
+def check_arity(m: int, n: int) -> None:
+    """Validate the (m, n) parameters of an m-port n-tree.
+
+    ``m`` must be an even power of two with ``m ≥ 4`` (an m/2-way
+    branching needs at least 2), and ``n ≥ 1``.
+    """
+    if not isinstance(m, int) or not isinstance(n, int):
+        raise TypeError(f"m and n must be ints, got {type(m).__name__}/{type(n).__name__}")
+    if m < 4 or m & (m - 1) != 0:
+        raise ValueError(f"m must be a power of two >= 4, got {m}")
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+
+
+def validate_node_label(m: int, n: int, p: NodeLabel) -> None:
+    """Raise ``ValueError`` unless ``p`` is a valid node label of FT(m, n)."""
+    check_arity(m, n)
+    if len(p) != n:
+        raise ValueError(f"node label must have {n} digits, got {p!r}")
+    half = m // 2
+    if not 0 <= p[0] < m:
+        raise ValueError(f"p0 must be in [0, {m}), got {p!r}")
+    for i in range(1, n):
+        if not 0 <= p[i] < half:
+            raise ValueError(f"p{i} must be in [0, {half}), got {p!r}")
+
+
+def validate_switch_label(m: int, n: int, w: Tuple[int, ...], level: int) -> None:
+    """Raise ``ValueError`` unless ``SW<w, level>`` is a valid switch of FT(m, n)."""
+    check_arity(m, n)
+    if not 0 <= level <= n - 1:
+        raise ValueError(f"switch level must be in [0, {n - 1}], got {level}")
+    if len(w) != n - 1:
+        raise ValueError(f"switch label must have {n - 1} digits, got {w!r}")
+    half = m // 2
+    first_limit = half if level == 0 else m
+    if w and not 0 <= w[0] < first_limit:
+        raise ValueError(f"w0 must be in [0, {first_limit}) at level {level}, got {w!r}")
+    for i in range(1, n - 1):
+        if not 0 <= w[i] < half:
+            raise ValueError(f"w{i} must be in [0, {half}), got {w!r}")
+
+
+def node_labels(m: int, n: int) -> Iterator[NodeLabel]:
+    """All node labels of FT(m, n) in lexicographic order.
+
+    Lexicographic label order coincides with PID order (the PID is the
+    mixed-radix value of the label), which tests rely on.
+    """
+    check_arity(m, n)
+    half = m // 2
+    yield from product(range(m), *([range(half)] * (n - 1)))
+
+
+def switch_labels(m: int, n: int, level: int | None = None) -> Iterator[SwitchLabel]:
+    """All switch labels of FT(m, n), optionally restricted to one level.
+
+    Levels are emitted root-first (level 0 first).
+    """
+    check_arity(m, n)
+    half = m // 2
+    levels = range(n) if level is None else [level]
+    for lvl in levels:
+        if not 0 <= lvl < n:
+            raise ValueError(f"level must be in [0, {n - 1}], got {lvl}")
+        first = range(half) if lvl == 0 else range(m)
+        if n == 1:
+            # Degenerate FT(m, 1): single row of switches with empty w.
+            yield ((), lvl)
+            continue
+        for w in product(first, *([range(half)] * (n - 2))):
+            yield (w, lvl)
+
+
+def format_node(p: NodeLabel) -> str:
+    """Render a node label the way the paper writes it, e.g. ``P(103)``."""
+    return "P(" + "".join(str(d) for d in p) + ")"
+
+
+def format_switch(w: Tuple[int, ...], level: int) -> str:
+    """Render a switch label the way the paper writes it, e.g. ``SW<10, 1>``."""
+    return "SW<" + "".join(str(d) for d in w) + f", {level}>"

@@ -1,0 +1,83 @@
+"""ASCII rendering of FT(m, n) — the paper's Figure 4, as text.
+
+Draws the switch rows (root row first), the processing-node row, and
+summarizes the wiring between adjacent rows.  Exact per-link drawing is
+only legible for the smallest trees, so links are drawn for
+``m = 4, n <= 2`` and summarized (counts per switch) otherwise.
+
+Used by ``repro-ibft draw`` and handy in notebooks/docs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.topology.fattree import FatTree
+from repro.topology.labels import format_node, format_switch
+
+__all__ = ["render_fattree"]
+
+_CELL = 12  # column width per drawn element
+
+
+def _center(text: str, width: int) -> str:
+    return text.center(width)
+
+
+def _row(labels: List[str], width: int) -> str:
+    return "".join(_center(t, width) for t in labels)
+
+
+def render_fattree(ft: FatTree, max_cells: int = 16) -> str:
+    """Multi-line diagram of FT(m, n).
+
+    ``max_cells`` caps the widest row that is drawn element-by-element;
+    wider trees get per-level summaries instead.
+    """
+    lines: List[str] = [
+        f"FT({ft.m}, {ft.n}) — {ft.num_nodes} nodes, "
+        f"{ft.num_switches} switches, height {ft.height}"
+    ]
+    widest = max(len(ft.switches_at_level(lvl)) for lvl in ft.levels())
+    widest = max(widest, ft.num_nodes)
+    if widest > max_cells:
+        for lvl in ft.levels():
+            row = ft.switches_at_level(lvl)
+            kind = "root" if lvl == 0 else ("leaf" if lvl == ft.n - 1 else "mid")
+            up = 0 if lvl == 0 else ft.half
+            down = ft.m if lvl == 0 else ft.half
+            lines.append(
+                f"  level {lvl} ({kind}): {len(row)} switches x {ft.m} ports "
+                f"({down} down, {up} up)"
+            )
+        lines.append(
+            f"  nodes: {ft.num_nodes} ({ft.half} per leaf switch)"
+        )
+        lines.append("  (row too wide to draw; increase max_cells to force)")
+        return "\n".join(lines)
+
+    width = _CELL
+    total = ft.num_nodes * width
+    for lvl in ft.levels():
+        row = ft.switches_at_level(lvl)
+        cell = total // len(row)
+        lines.append(_row([format_switch(*sw) for sw in row], cell))
+        if lvl < ft.n - 1:
+            children = ft.switches_at_level(lvl + 1)
+            # Connection summary between the rows.
+            links = sum(
+                1
+                for sw in row
+                for ep in ft.ports(sw)
+                if ep.is_switch and ep.switch[1] == lvl + 1
+            )
+            child_cell = total // len(children)
+            marks = _row(["|" * ft.half] * len(children), child_cell)
+            lines.append(marks)
+            lines.append(
+                _center(f"({links} links)", total)
+            )
+    node_cell = total // ft.num_nodes
+    lines.append(_row(["|"] * ft.num_nodes, node_cell))
+    lines.append(_row([format_node(p) for p in ft.nodes], node_cell))
+    return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""Structural validation of a constructed FT(m, n).
+
+``validate_fattree`` re-derives every invariant Section 3 of the paper
+states and raises :class:`TopologyError` on the first violation.  It is
+used by the test suite and is cheap enough to run on construction in
+examples (O(switches * m)).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.topology import groups
+from repro.topology.fattree import FatTree
+from repro.topology.graph import to_networkx
+from repro.topology.labels import format_switch
+
+__all__ = ["TopologyError", "validate_fattree"]
+
+
+class TopologyError(AssertionError):
+    """A structural invariant of FT(m, n) was violated."""
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise TopologyError(message)
+
+
+def validate_fattree(ft: FatTree) -> None:
+    """Check all structural invariants of the constructed fat-tree."""
+    m, n, half = ft.m, ft.n, ft.half
+
+    _require(
+        ft.num_nodes == groups.num_nodes(m, n),
+        f"node count {ft.num_nodes} != 2*(m/2)^n",
+    )
+    _require(
+        ft.num_switches == groups.num_switches(m, n),
+        f"switch count {ft.num_switches} != (2n-1)*(m/2)^(n-1)",
+    )
+
+    for s in ft.switches:
+        w, level = s
+        ports = ft.ports(s)
+        _require(len(ports) == m, f"{format_switch(w, level)} must have {m} ports")
+        for k, ep in enumerate(ports):
+            _require(
+                ep.is_node or ep.is_switch,
+                f"{format_switch(w, level)} port {k} is unwired",
+            )
+            if ep.is_node:
+                _require(
+                    level == n - 1,
+                    f"{format_switch(w, level)}: nodes only hang off level n-1",
+                )
+                p = ep.node
+                _require(
+                    p[: n - 1] == w and p[n - 1] == k,
+                    f"{format_switch(w, level)} port {k}: wrong node {p}",
+                )
+            else:
+                sw, sl = ep.switch
+                _require(
+                    abs(sl - level) == 1,
+                    f"{format_switch(w, level)}: link must span adjacent levels",
+                )
+                if sl == level + 1:  # we are the parent
+                    _require(
+                        k in ft.down_ports(s),
+                        f"{format_switch(w, level)} port {k}: child on an up port",
+                    )
+                    _require(
+                        sw[:level] == w[:level] and sw[level + 1 :] == w[level + 1 :],
+                        f"{format_switch(w, level)}: child differs beyond pos {level}",
+                    )
+                    _require(k == sw[level], "parent port k must equal w'_l")
+                    _require(
+                        ep.port == w[level] + half,
+                        "child port k' must equal w_l + m/2",
+                    )
+                else:  # we are the child
+                    _require(
+                        k in ft.up_ports(s),
+                        f"{format_switch(w, level)} port {k}: parent on a down port",
+                    )
+                # Symmetry: the peer must point back at us.
+                back = ft.peer(ep.switch, ep.port)
+                _require(
+                    back.is_switch and back.switch == s and back.port == k,
+                    f"{format_switch(w, level)} port {k}: asymmetric wiring",
+                )
+
+    # Up/down port counts per level.
+    for s in ft.switches:
+        _, level = s
+        expected_up = 0 if level == 0 else half
+        _require(
+            len(ft.up_ports(s)) == expected_up,
+            f"level-{level} switch must have {expected_up} up ports",
+        )
+
+    # Every node attaches exactly once and round-trips through peer().
+    for p in ft.nodes:
+        ref = ft.node_attachment(p)
+        ep = ft.peer(ref.switch, ref.port)
+        _require(
+            ep.is_node and ep.node == p,
+            f"node {p} attachment does not round-trip",
+        )
+
+    # Global connectivity.
+    g = to_networkx(ft)
+    _require(nx.is_connected(g), "FT(m, n) must be connected")
+    _require(
+        g.number_of_edges()
+        == ft.num_nodes + (ft.num_switches * m - ft.num_nodes) // 2,
+        "edge count mismatch",
+    )

@@ -1,0 +1,41 @@
+"""Traffic workloads.
+
+The paper simulates two patterns — uniform random and "50% centric"
+(each packet targets one particular hot node with probability 0.5,
+otherwise a uniform destination).  :mod:`repro.traffic.patterns` adds
+the standard synthetic patterns used in the interconnect literature
+for the extended analyses (permutation, bit-complement, bit-reversal,
+transpose).
+"""
+
+from repro.traffic.patterns import (
+    TrafficPattern,
+    UniformPattern,
+    CentricPattern,
+    PermutationPattern,
+    BitComplementPattern,
+    BitReversalPattern,
+    TransposePattern,
+    make_pattern,
+    available_patterns,
+)
+from repro.traffic.collectives import (
+    AllToAllPattern,
+    RecursiveDoublingPattern,
+    RingPattern,
+)
+
+__all__ = [
+    "TrafficPattern",
+    "UniformPattern",
+    "CentricPattern",
+    "PermutationPattern",
+    "BitComplementPattern",
+    "BitReversalPattern",
+    "TransposePattern",
+    "AllToAllPattern",
+    "RecursiveDoublingPattern",
+    "RingPattern",
+    "make_pattern",
+    "available_patterns",
+]

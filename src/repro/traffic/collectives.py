@@ -1,0 +1,102 @@
+"""Collective-communication traffic: the workloads fat-trees exist for.
+
+Interconnect papers of the era evaluate synthetic uniform/hot-spot
+loads (as the paper does), but the fat-tree's raison d'être is MPI
+collectives.  These patterns model the *steady-state communication
+structure* of pipelined collectives: every node cycles deterministically
+through its partner schedule, one partner per generated packet.
+
+* :class:`AllToAllPattern` — the linear-shift schedule of all-to-all
+  personalized exchange: node ``i`` cycles through partners
+  ``i+1, i+2, …, i+N-1 (mod N)``.  At any instant the phase offsets
+  across nodes are independent (pipelined all-to-all), producing an
+  admissible permutation-like load that exercises every path class.
+* :class:`RecursiveDoublingPattern` — the hypercube schedule of
+  allreduce/allgather: node ``i`` cycles through partners
+  ``i XOR 2^k`` for ``k = 0 … log2(N)-1``.  Phase ``k`` traffic always
+  crosses exactly the level where labels differ in bit ``k`` — a
+  classic stress pattern for tree bisections.
+* :class:`RingPattern` — the ring schedule of bandwidth-optimal
+  allreduce: node ``i`` always sends to ``i+1 (mod N)``; entirely
+  nearest-neighbour in PID space.
+
+All are deterministic (no RNG use) and never select the source.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+import numpy as np
+
+from repro.traffic.patterns import TrafficPattern, _FACTORIES
+
+__all__ = ["AllToAllPattern", "RecursiveDoublingPattern", "RingPattern"]
+
+Chooser = Callable[[np.random.Generator], int]
+
+
+class _CyclicSchedulePattern(TrafficPattern):
+    """Partner schedule cycled one entry per generated packet."""
+
+    def __init__(self, num_nodes: int):
+        super().__init__(num_nodes)
+        self._schedules: List[List[int]] = [
+            self._schedule(pid) for pid in range(num_nodes)
+        ]
+        for pid, sched in enumerate(self._schedules):
+            if not sched:
+                raise ValueError(f"empty schedule for node {pid}")
+            if any(d == pid or not 0 <= d < num_nodes for d in sched):
+                raise ValueError(f"invalid schedule for node {pid}: {sched}")
+        self._cursor: List[int] = [0] * num_nodes
+
+    def _schedule(self, pid: int) -> List[int]:
+        raise NotImplementedError
+
+    def chooser(self, pid: int) -> Chooser:
+        self._check_pid(pid)
+        schedule = self._schedules[pid]
+        cursors = self._cursor
+
+        def choose(_rng: np.random.Generator) -> int:
+            idx = cursors[pid]
+            cursors[pid] = (idx + 1) % len(schedule)
+            return schedule[idx]
+
+        return choose
+
+
+class AllToAllPattern(_CyclicSchedulePattern):
+    """Linear-shift all-to-all personalized exchange."""
+
+    def _schedule(self, pid: int) -> List[int]:
+        n = self.num_nodes
+        return [(pid + shift) % n for shift in range(1, n)]
+
+
+class RecursiveDoublingPattern(_CyclicSchedulePattern):
+    """Hypercube (XOR) schedule; ``num_nodes`` must be a power of two."""
+
+    def __init__(self, num_nodes: int):
+        if num_nodes & (num_nodes - 1) != 0:
+            raise ValueError(
+                f"num_nodes must be a power of 2, got {num_nodes}"
+            )
+        super().__init__(num_nodes)
+
+    def _schedule(self, pid: int) -> List[int]:
+        bits = self.num_nodes.bit_length() - 1
+        return [pid ^ (1 << k) for k in range(bits)]
+
+
+class RingPattern(_CyclicSchedulePattern):
+    """Ring schedule: every packet goes to the next PID."""
+
+    def _schedule(self, pid: int) -> List[int]:
+        return [(pid + 1) % self.num_nodes]
+
+
+_FACTORIES["alltoall"] = AllToAllPattern
+_FACTORIES["recursivedoubling"] = RecursiveDoublingPattern
+_FACTORIES["ring"] = RingPattern

@@ -1,0 +1,224 @@
+"""Synthetic traffic patterns.
+
+A :class:`TrafficPattern` is built once per run (it may precompute a
+permutation) and then queried per node: ``pattern.chooser(pid)``
+returns the callable an :class:`~repro.ib.endnode.Endnode` invokes with
+its private RNG each time it generates a packet.
+
+Self-traffic is never produced: stochastic patterns redraw/exclude the
+source, deterministic patterns whose formula maps a node to itself
+(e.g. bit-reversal palindromes, the transpose diagonal) fall back to
+the cyclic neighbour ``(pid + 1) mod N`` so every node still offers
+load.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, List
+
+import numpy as np
+
+__all__ = [
+    "TrafficPattern",
+    "UniformPattern",
+    "CentricPattern",
+    "PermutationPattern",
+    "BitComplementPattern",
+    "BitReversalPattern",
+    "TransposePattern",
+    "make_pattern",
+    "available_patterns",
+]
+
+Chooser = Callable[[np.random.Generator], int]
+
+
+class TrafficPattern(ABC):
+    """Destination distribution over PIDs 0 … num_nodes-1."""
+
+    def __init__(self, num_nodes: int):
+        if num_nodes < 2:
+            raise ValueError(f"need at least 2 nodes, got {num_nodes}")
+        self.num_nodes = num_nodes
+
+    @abstractmethod
+    def chooser(self, pid: int) -> Chooser:
+        """Destination chooser for source ``pid``."""
+
+    def _check_pid(self, pid: int) -> None:
+        if not 0 <= pid < self.num_nodes:
+            raise ValueError(f"pid must be in [0, {self.num_nodes}), got {pid}")
+
+    def __call__(self, pid: int) -> Chooser:
+        """Patterns are usable directly as ``Subnet.attach_pattern`` args."""
+        return self.chooser(pid)
+
+
+class UniformPattern(TrafficPattern):
+    """Uniform random destination, excluding the source (paper §5.2)."""
+
+    def chooser(self, pid: int) -> Chooser:
+        self._check_pid(pid)
+        n = self.num_nodes
+
+        def choose(rng: np.random.Generator) -> int:
+            # Draw over n-1 values and skip past the source: exact
+            # uniform over destinations != pid with a single draw.
+            d = int(rng.integers(0, n - 1))
+            return d + 1 if d >= pid else d
+
+        return choose
+
+
+class CentricPattern(TrafficPattern):
+    """The paper's "k% centric" pattern.
+
+    With probability ``fraction`` the destination is the fixed
+    ``hot_pid`` ("one particular destination processing node"); else a
+    uniform destination.  The paper uses fraction 0.5 ("50 out of 100
+    packets").  The hot node itself, and any draw that lands on the
+    source, fall back to uniform-excluding-self.
+    """
+
+    def __init__(self, num_nodes: int, hot_pid: int = 0, fraction: float = 0.5):
+        super().__init__(num_nodes)
+        if not 0 <= hot_pid < num_nodes:
+            raise ValueError(f"hot_pid must be in [0, {num_nodes}), got {hot_pid}")
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        self.hot_pid = hot_pid
+        self.fraction = fraction
+
+    def chooser(self, pid: int) -> Chooser:
+        self._check_pid(pid)
+        n = self.num_nodes
+        hot = self.hot_pid
+        frac = self.fraction
+
+        def choose(rng: np.random.Generator) -> int:
+            if pid != hot and rng.random() < frac:
+                return hot
+            d = int(rng.integers(0, n - 1))
+            return d + 1 if d >= pid else d
+
+        return choose
+
+
+class PermutationPattern(TrafficPattern):
+    """A fixed random derangement: every node sends to one partner and
+    receives from one partner (admissible full-throughput workload)."""
+
+    def __init__(self, num_nodes: int, seed: int = 0):
+        super().__init__(num_nodes)
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(num_nodes)
+        # Rotate fixed points away to obtain a derangement.
+        for i in range(num_nodes):
+            if perm[i] == i:
+                j = (i + 1) % num_nodes
+                perm[i], perm[j] = perm[j], perm[i]
+        if any(int(perm[i]) == i for i in range(num_nodes)):  # pragma: no cover
+            raise RuntimeError("failed to build a derangement")
+        self.partner: List[int] = [int(x) for x in perm]
+
+    def chooser(self, pid: int) -> Chooser:
+        self._check_pid(pid)
+        partner = self.partner[pid]
+        return lambda _rng: partner
+
+
+class _FixedFormulaPattern(TrafficPattern):
+    """Deterministic partner computed by a subclass formula."""
+
+    def __init__(self, num_nodes: int):
+        super().__init__(num_nodes)
+        self.partner: List[int] = []
+        for pid in range(num_nodes):
+            dst = self._formula(pid)
+            if dst == pid:
+                dst = (pid + 1) % num_nodes  # documented fallback
+            if not 0 <= dst < num_nodes:
+                raise RuntimeError(f"formula produced out-of-range dst {dst}")
+            self.partner.append(dst)
+
+    @abstractmethod
+    def _formula(self, pid: int) -> int: ...
+
+    def chooser(self, pid: int) -> Chooser:
+        self._check_pid(pid)
+        partner = self.partner[pid]
+        return lambda _rng: partner
+
+
+class BitComplementPattern(_FixedFormulaPattern):
+    """dst = bitwise complement of pid (num_nodes must be a power of 2)."""
+
+    def __init__(self, num_nodes: int):
+        if num_nodes & (num_nodes - 1) != 0:
+            raise ValueError(f"num_nodes must be a power of 2, got {num_nodes}")
+        self._mask = num_nodes - 1
+        super().__init__(num_nodes)
+
+    def _formula(self, pid: int) -> int:
+        return ~pid & self._mask
+
+
+class BitReversalPattern(_FixedFormulaPattern):
+    """dst = pid with its log2(num_nodes) bits reversed."""
+
+    def __init__(self, num_nodes: int):
+        if num_nodes & (num_nodes - 1) != 0:
+            raise ValueError(f"num_nodes must be a power of 2, got {num_nodes}")
+        self._bits = num_nodes.bit_length() - 1
+        super().__init__(num_nodes)
+
+    def _formula(self, pid: int) -> int:
+        out = 0
+        for i in range(self._bits):
+            if pid & (1 << i):
+                out |= 1 << (self._bits - 1 - i)
+        return out
+
+
+class TransposePattern(_FixedFormulaPattern):
+    """Matrix transpose: pid = r*side + c sends to c*side + r
+    (num_nodes must be a perfect square)."""
+
+    def __init__(self, num_nodes: int):
+        side = int(round(num_nodes**0.5))
+        if side * side != num_nodes:
+            raise ValueError(
+                f"num_nodes must be a perfect square, got {num_nodes}"
+            )
+        self._side = side
+        super().__init__(num_nodes)
+
+    def _formula(self, pid: int) -> int:
+        r, c = divmod(pid, self._side)
+        return c * self._side + r
+
+
+_FACTORIES: Dict[str, Callable[..., TrafficPattern]] = {
+    "uniform": UniformPattern,
+    "centric": CentricPattern,
+    "permutation": PermutationPattern,
+    "bitcomplement": BitComplementPattern,
+    "bitreversal": BitReversalPattern,
+    "transpose": TransposePattern,
+}
+
+
+def make_pattern(name: str, num_nodes: int, **kwargs) -> TrafficPattern:
+    """Instantiate a pattern by name (see :func:`available_patterns`)."""
+    try:
+        factory = _FACTORIES[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown pattern {name!r}; available: {sorted(_FACTORIES)}"
+        ) from None
+    return factory(num_nodes, **kwargs)
+
+
+def available_patterns() -> List[str]:
+    return sorted(_FACTORIES)

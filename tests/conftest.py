@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.forwarding import MlidScheme
+from repro.core.slid import SlidScheme
+from repro.ib.config import SimConfig
+from repro.topology.fattree import FatTree
+
+
+@pytest.fixture(scope="session")
+def ft43() -> FatTree:
+    """The paper's running example: the 4-port 3-tree (16 nodes)."""
+    return FatTree(4, 3)
+
+
+@pytest.fixture(scope="session")
+def ft82() -> FatTree:
+    """The paper's Figure 7/8 topology: the 8-port 2-tree (32 nodes)."""
+    return FatTree(8, 2)
+
+
+@pytest.fixture(scope="session")
+def ft42() -> FatTree:
+    """Smallest non-degenerate tree: 4-port 2-tree (8 nodes)."""
+    return FatTree(4, 2)
+
+
+@pytest.fixture(scope="session")
+def mlid43(ft43) -> MlidScheme:
+    return MlidScheme(ft43)
+
+
+@pytest.fixture(scope="session")
+def slid43(ft43) -> SlidScheme:
+    return SlidScheme(ft43)
+
+
+@pytest.fixture()
+def fast_cfg() -> SimConfig:
+    """Default simulation constants (paper values)."""
+    return SimConfig()

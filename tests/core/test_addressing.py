@@ -1,0 +1,123 @@
+"""Tests for the MLID processing-node addressing scheme."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.addressing import (
+    IBA_MAX_LID,
+    IBA_MAX_LMC,
+    MlidAddressing,
+    lmc_for,
+    max_lid,
+)
+from repro.topology import groups
+from repro.topology.labels import node_labels
+
+
+class TestLmc:
+    @pytest.mark.parametrize("m,n,lmc", [
+        (4, 2, 1),
+        (4, 3, 2),
+        (8, 2, 2),
+        (8, 3, 4),
+        (16, 2, 3),
+        (32, 2, 4),
+        (4, 1, 0),
+    ])
+    def test_formula(self, m, n, lmc):
+        assert lmc_for(m, n) == lmc
+
+    def test_lmc_counts_paths(self):
+        """2^LMC equals the number of minimal paths between
+        prefix-disjoint nodes."""
+        for (m, n) in [(4, 2), (4, 3), (8, 2), (8, 3)]:
+            labels = list(node_labels(m, n))
+            assert 1 << lmc_for(m, n) == groups.paths_between(
+                m, n, labels[0], labels[-1]
+            )
+
+    def test_strict_iba_rejects_oversized_lmc(self):
+        # FT(16, 4) needs LMC = 9 > 7.
+        with pytest.raises(ValueError, match="LMC"):
+            lmc_for(16, 4)
+        assert lmc_for(16, 4, strict_iba=False) == 9
+
+    def test_max_lid_within_unicast_space(self):
+        for (m, n) in [(4, 2), (8, 3), (16, 2), (32, 2)]:
+            assert max_lid(m, n) <= IBA_MAX_LID
+
+    def test_iba_constants(self):
+        assert IBA_MAX_LMC == 7
+        assert IBA_MAX_LID == 0xBFFF
+
+
+class TestMlidAddressing:
+    def test_paper_base_lid_example(self):
+        """BaseLID(P(010)) = 9 in the 4-port 3-tree (paper Figure 10)."""
+        addr = MlidAddressing(4, 3)
+        assert addr.base_lid((0, 1, 0)) == 9
+        assert list(addr.lid_set((0, 1, 0))) == [9, 10, 11, 12]
+
+    def test_paper_dest_lid_set(self):
+        """LIDset(P(300)) = {49, 50, 51, 52} (paper Figure 11 example)."""
+        addr = MlidAddressing(4, 3)
+        assert addr.base_lid((3, 0, 0)) == 49
+        assert list(addr.lid_set((3, 0, 0))) == [49, 50, 51, 52]
+
+    def test_lids_per_node(self):
+        assert MlidAddressing(4, 3).lids_per_node == 4
+        assert MlidAddressing(8, 2).lids_per_node == 4
+        assert MlidAddressing(16, 2).lids_per_node == 8
+
+    def test_lid_zero_never_assigned(self):
+        addr = MlidAddressing(4, 2)
+        assert min(addr.all_lids()) == 1
+
+    @pytest.mark.parametrize("m,n", [(4, 2), (4, 3), (8, 2), (8, 3)])
+    def test_lid_space_dense_and_disjoint(self, m, n):
+        addr = MlidAddressing(m, n)
+        seen = []
+        for p in node_labels(m, n):
+            seen.extend(addr.lid_set(p))
+        assert sorted(seen) == list(range(1, addr.num_lids + 1))
+
+    @pytest.mark.parametrize("m,n", [(4, 2), (4, 3), (8, 2)])
+    def test_owner_roundtrip(self, m, n):
+        addr = MlidAddressing(m, n)
+        for p in node_labels(m, n):
+            for lid in addr.lid_set(p):
+                assert addr.owner(lid) == p
+
+    def test_split(self):
+        addr = MlidAddressing(4, 3)
+        assert addr.split(49) == (12, 0)
+        assert addr.split(52) == (12, 3)
+        assert addr.split(1) == (0, 0)
+
+    def test_split_out_of_range(self):
+        addr = MlidAddressing(4, 3)
+        with pytest.raises(ValueError):
+            addr.split(0)
+        with pytest.raises(ValueError):
+            addr.split(addr.num_lids + 1)
+
+    def test_num_lids(self):
+        assert MlidAddressing(4, 3).num_lids == 64
+        assert MlidAddressing(8, 2).num_lids == 128
+
+    def test_rejects_oversized_topology(self):
+        with pytest.raises(ValueError):
+            MlidAddressing(16, 4)
+
+    @given(st.sampled_from(list(node_labels(8, 3))))
+    def test_base_lid_formula_property(self, p):
+        addr = MlidAddressing(8, 3)
+        assert addr.base_lid(p) == groups.pid(8, 3, p) * 16 + 1
+
+    @given(st.integers(1, 64))
+    def test_owner_offset_consistency(self, lid):
+        addr = MlidAddressing(4, 3)
+        pid, offset = addr.split(lid)
+        owner = addr.owner(lid)
+        assert groups.pid(4, 3, owner) == pid
+        assert addr.base_lid(owner) + offset == lid

@@ -1,0 +1,98 @@
+"""Tests for the extension path-selection schemes."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.extensions import DestStaggeredMlidScheme, HashedMlidScheme
+from repro.core.scheme import available_schemes, get_scheme
+from repro.core.verification import trace_path, verify_scheme
+from repro.topology.fattree import FatTree
+
+
+@pytest.fixture(scope="module")
+def ft():
+    return FatTree(8, 2)
+
+
+def test_registered():
+    assert {"mlid-hash", "mlid-stagger"} <= set(available_schemes())
+
+
+@pytest.mark.parametrize("name", ["mlid-hash", "mlid-stagger"])
+def test_all_routes_valid(name, ft):
+    scheme = get_scheme(name, ft)
+    pairs = ft.num_nodes * (ft.num_nodes - 1)
+    assert verify_scheme(scheme) == pairs * scheme.lids_per_node
+
+
+@pytest.mark.parametrize("name", ["mlid-hash", "mlid-stagger"])
+def test_dlid_in_destination_lidset(name, ft):
+    scheme = get_scheme(name, ft)
+    for src in ft.nodes[:8]:
+        for dst in ft.nodes:
+            if src != dst:
+                assert scheme.dlid(src, dst) in scheme.lid_set(dst)
+
+
+@pytest.mark.parametrize("name", ["mlid-hash", "mlid-stagger"])
+def test_self_traffic_rejected(name, ft):
+    scheme = get_scheme(name, ft)
+    with pytest.raises(ValueError):
+        scheme.dlid((0, 0), (0, 0))
+
+
+def test_stagger_preserves_all_to_one_guarantee(ft):
+    """For any destination, sibling-group sources still get pairwise
+    distinct DLIDs (the paper's key property)."""
+    scheme = DestStaggeredMlidScheme(ft)
+    for dst in ft.nodes:
+        for top in range(ft.m):
+            group = [p for p in ft.nodes if p[0] == top and p != dst]
+            if not group or group[0][0] == dst[0]:
+                continue
+            dlids = [scheme.dlid(s, dst) for s in group]
+            assert len(set(dlids)) == len(dlids)
+
+
+def test_stagger_spreads_one_to_all(ft):
+    """A fixed source's traffic to many destinations uses several
+    roots — unlike the paper's rank selection which pins one."""
+    scheme = DestStaggeredMlidScheme(ft)
+    src = (0, 0)
+    turns = {
+        trace_path(scheme, src, dst).turn
+        for dst in ft.nodes
+        if dst[0] != src[0]
+    }
+    roots = {t for t in turns if t[1] == 0}
+    assert len(roots) == ft.half
+
+
+def test_hash_spreads_roughly_evenly(ft):
+    scheme = HashedMlidScheme(ft)
+    offsets = Counter()
+    for src in ft.nodes:
+        for dst in ft.nodes:
+            if src[0] == dst[0]:
+                continue
+            offsets[scheme.dlid(src, dst) - scheme.base_lid(dst)] += 1
+    assert set(offsets) == {0, 1, 2, 3}
+    lo, hi = min(offsets.values()), max(offsets.values())
+    assert hi <= 1.5 * lo
+
+
+def test_hash_deterministic(ft):
+    a = HashedMlidScheme(ft)
+    b = HashedMlidScheme(FatTree(8, 2))
+    for src, dst in [((0, 0), (3, 1)), ((7, 3), (2, 2))]:
+        assert a.dlid(src, dst) == b.dlid(src, dst)
+
+
+def test_extension_forwarding_identical_to_mlid(ft):
+    """Extensions reuse the published tables verbatim — only the DLID
+    choice differs."""
+    base = get_scheme("mlid", ft)
+    for name in ("mlid-hash", "mlid-stagger"):
+        ext = get_scheme(name, ft)
+        assert ext.build_tables() == base.build_tables()

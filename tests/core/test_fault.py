@@ -1,0 +1,176 @@
+"""Tests for fault-tolerant forwarding-table repair."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fault import (
+    DisconnectedError,
+    FaultSet,
+    FaultTolerantTables,
+    link_id,
+)
+from repro.core.scheme import get_scheme
+from repro.topology.fattree import FatTree
+
+MN = [(4, 2), (8, 2), (4, 3)]
+
+
+def repaired(m, n, scheme_name, faults):
+    ft = FatTree(m, n)
+    scheme = get_scheme(scheme_name, ft)
+    return FaultTolerantTables(scheme, faults), ft, scheme
+
+
+def verify_all_pairs(ftt, ft, scheme):
+    for src in ft.nodes:
+        for dst in ft.nodes:
+            if src == dst:
+                continue
+            for lid in scheme.lid_set(dst):
+                ftt.trace(src, dst, dlid=lid)
+
+
+class TestFaultSet:
+    def test_empty_faultset(self):
+        fs = FaultSet()
+        assert len(fs) == 0
+        assert not fs.is_failed(((0,), 0), 0)
+
+    def test_from_pairs_builds_bidirectional_ids(self):
+        ft = FatTree(4, 2)
+        fs = FaultSet.from_pairs(ft, [(((0,), 0), 0)])
+        assert len(fs) == 1
+        # Both endpoints report failed.
+        ep = ft.peer(((0,), 0), 0)
+        assert fs.is_failed(((0,), 0), 0)
+        assert fs.is_failed(ep.switch, ep.port)
+
+    def test_node_links_rejected(self):
+        ft = FatTree(4, 2)
+        leaf = ft.node_attachment((0, 0)).switch
+        with pytest.raises(ValueError, match="node"):
+            FaultSet.from_pairs(ft, [(leaf, 0)])
+
+    def test_random_faults_distinct(self):
+        ft = FatTree(8, 2)
+        fs = FaultSet.random(ft, 5, seed=1)
+        assert len(fs) == 5
+
+    def test_random_too_many_rejected(self):
+        ft = FatTree(4, 2)
+        with pytest.raises(ValueError):
+            FaultSet.random(ft, 1000)
+
+    def test_random_reproducible(self):
+        ft = FatTree(8, 2)
+        assert FaultSet.random(ft, 3, seed=7) == FaultSet.random(ft, 3, seed=7)
+
+
+class TestRepairNoFaults:
+    @pytest.mark.parametrize("m,n", MN)
+    @pytest.mark.parametrize("name", ["mlid", "slid"])
+    def test_no_faults_no_repairs(self, m, n, name):
+        ftt, ft, scheme = repaired(m, n, name, FaultSet())
+        assert ftt.repaired_entries == 0
+        assert ftt.tables == scheme.build_tables()
+
+
+class TestSingleLinkFailure:
+    @pytest.mark.parametrize("m,n", MN)
+    @pytest.mark.parametrize("name", ["mlid", "slid"])
+    def test_every_pair_still_delivers(self, m, n, name):
+        ft0 = FatTree(m, n)
+        # Fail the first root's first down link.
+        root = ft0.switches_at_level(0)[0]
+        faults = FaultSet.from_pairs(ft0, [(root, 0)])
+        ftt, ft, scheme = repaired(m, n, name, faults)
+        assert ftt.repaired_entries > 0
+        verify_all_pairs(ftt, ft, scheme)
+
+    def test_repaired_routes_avoid_failed_link(self):
+        ft0 = FatTree(8, 2)
+        root = ft0.switches_at_level(0)[0]
+        faults = FaultSet.from_pairs(ft0, [(root, 0)])
+        ftt, ft, scheme = repaired(8, 2, "mlid", faults)
+        # trace() raises if any route crosses the failed link.
+        verify_all_pairs(ftt, ft, scheme)
+
+    def test_unaffected_routes_unchanged(self):
+        """Routes that never met the failed link keep original ports."""
+        ft0 = FatTree(8, 2)
+        root = ft0.switches_at_level(0)[0]  # root <0>
+        faults = FaultSet.from_pairs(ft0, [(root, 0)])  # link to leaf 0
+        ftt, ft, scheme = repaired(8, 2, "mlid", faults)
+        # A pair whose path uses root <3> (offset 3): src rank 3.
+        src, dst = (0, 3), (5, 0)
+        original = [
+            scheme.output_port(sw, scheme.dlid(src, dst))
+            for sw in [ft.node_attachment(src).switch]
+        ]
+        repaired_ports = [
+            ftt.output_port(sw, scheme.dlid(src, dst))
+            for sw in [ft.node_attachment(src).switch]
+        ]
+        assert original == repaired_ports
+
+
+class TestMultipleFailures:
+    @pytest.mark.parametrize("count", [2, 4, 6])
+    def test_random_failures_still_deliver(self, count):
+        ft0 = FatTree(8, 2)
+        faults = FaultSet.random(ft0, count, seed=count)
+        ftt, ft, scheme = repaired(8, 2, "mlid", faults)
+        verify_all_pairs(ftt, ft, scheme)
+
+    def test_deep_tree_failures(self):
+        ft0 = FatTree(4, 3)
+        faults = FaultSet.random(ft0, 3, seed=2)
+        ftt, ft, scheme = repaired(4, 3, "mlid", faults)
+        verify_all_pairs(ftt, ft, scheme)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 500), count=st.integers(1, 4))
+    def test_random_fault_property(self, seed, count):
+        ft0 = FatTree(4, 2)
+        faults = FaultSet.random(ft0, count, seed=seed)
+        try:
+            ftt, ft, scheme = repaired(4, 2, "mlid", faults)
+        except DisconnectedError:
+            return  # small tree: heavy fault sets may legally disconnect
+        verify_all_pairs(ftt, ft, scheme)
+
+
+class TestDisconnection:
+    def test_all_up_links_of_leaf_disconnects(self):
+        """Killing every up link of a leaf strands its nodes."""
+        ft0 = FatTree(4, 2)
+        leaf = ft0.switches_at_level(1)[0]
+        pairs = [(leaf, port) for port in ft0.up_ports(leaf)]
+        faults = FaultSet.from_pairs(ft0, pairs)
+        with pytest.raises(DisconnectedError):
+            repaired(4, 2, "mlid", faults)
+
+
+class TestRepairedScheme:
+    def test_as_scheme_preserves_addressing(self):
+        ft0 = FatTree(4, 2)
+        faults = FaultSet.from_pairs(ft0, [(ft0.switches_at_level(0)[0], 0)])
+        ftt, ft, scheme = repaired(4, 2, "mlid", faults)
+        wrapped = ftt.as_scheme()
+        assert wrapped.lmc == scheme.lmc
+        assert wrapped.name == "mlid+repair"
+        for node in ft.nodes:
+            assert wrapped.base_lid(node) == scheme.base_lid(node)
+
+    def test_as_scheme_runs_in_simulator(self):
+        from repro.ib.subnet import build_subnet
+        from repro.traffic import UniformPattern
+
+        ft0 = FatTree(4, 2)
+        faults = FaultSet.from_pairs(ft0, [(ft0.switches_at_level(0)[0], 0)])
+        scheme = get_scheme("mlid", ft0)
+        ftt = FaultTolerantTables(scheme, faults)
+        net = build_subnet(4, 2, ftt.as_scheme(), seed=1)
+        net.attach_pattern(UniformPattern(net.num_nodes))
+        res = net.run_measurement(0.2, warmup_ns=5_000, measure_ns=30_000)
+        assert res["accepted"] > 0.15

@@ -1,0 +1,94 @@
+"""Tests for the MLID path-selection scheme."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.addressing import MlidAddressing
+from repro.core.path_selection import path_offset, select_dlid
+from repro.topology import groups
+from repro.topology.labels import node_labels
+
+
+@pytest.fixture(scope="module")
+def addr43():
+    return MlidAddressing(4, 3)
+
+
+class TestPaperExample:
+    def test_figure11_selection(self, addr43):
+        """gcpg(0,1) members sending to P(300) pick 49, 50, 51, 52."""
+        sources = [(0, 0, 0), (0, 0, 1), (0, 1, 0), (0, 1, 1)]
+        dlids = [select_dlid(addr43, s, (3, 0, 0)) for s in sources]
+        assert dlids == [49, 50, 51, 52]
+
+    def test_selection_is_rank_based(self, addr43):
+        for src in [(1, 0, 0), (1, 0, 1), (1, 1, 0), (1, 1, 1)]:
+            expect = 1 + groups.rank_in_gcpg(4, 3, 1, src)
+            assert select_dlid(addr43, src, (0, 0, 0)) == expect
+
+
+class TestOffsets:
+    def test_same_leaf_uses_base_lid(self, addr43):
+        assert path_offset(4, 3, (0, 0, 0), (0, 0, 1)) == 0
+        assert select_dlid(addr43, (0, 0, 0), (0, 0, 1)) == addr43.base_lid(
+            (0, 0, 1)
+        )
+
+    def test_self_traffic_rejected(self, addr43):
+        with pytest.raises(ValueError):
+            select_dlid(addr43, (0, 0, 0), (0, 0, 0))
+
+    def test_offset_bounded_by_path_count(self):
+        for m, n in [(4, 3), (8, 2), (8, 3)]:
+            labels = list(node_labels(m, n))
+            for src in labels[:6]:
+                for dst in labels[-6:]:
+                    if src == dst:
+                        continue
+                    off = path_offset(m, n, src, dst)
+                    assert 0 <= off < groups.paths_between(m, n, src, dst)
+
+    def test_invalid_labels_rejected(self):
+        with pytest.raises(ValueError):
+            path_offset(4, 3, (9, 0, 0), (0, 0, 0))
+        with pytest.raises(ValueError):
+            path_offset(4, 3, (0, 0, 0), (0, 0, 9))
+
+
+class TestSiblingGroupProperty:
+    """The scheme's point: every member of a sibling group sending to
+    the same destination uses a distinct DLID (distinct LCA)."""
+
+    @pytest.mark.parametrize("m,n", [(4, 2), (4, 3), (8, 2), (8, 3)])
+    def test_all_to_one_dlids_distinct_within_group(self, m, n):
+        addr = MlidAddressing(m, n)
+        labels = list(node_labels(m, n))
+        dst = labels[-1]
+        # The sibling group at the divergence level for alpha=0 sources.
+        for top in range(m):
+            group = [p for p in labels if p[0] == top and p != dst]
+            if not group or group[0][0] == dst[0]:
+                continue
+            dlids = [select_dlid(addr, s, dst) for s in group]
+            assert len(set(dlids)) == len(dlids)
+            assert set(dlids) <= set(addr.lid_set(dst))
+
+    def test_dlid_always_in_destination_lidset(self, addr43):
+        labels = list(node_labels(4, 3))
+        for src in labels:
+            for dst in labels:
+                if src == dst:
+                    continue
+                assert select_dlid(addr43, src, dst) in addr43.lid_set(dst)
+
+
+@given(
+    src=st.sampled_from(list(node_labels(8, 2))),
+    dst=st.sampled_from(list(node_labels(8, 2))),
+)
+def test_offset_deterministic_property(src, dst):
+    if src == dst:
+        return
+    a = path_offset(8, 2, src, dst)
+    b = path_offset(8, 2, src, dst)
+    assert a == b

@@ -1,0 +1,95 @@
+"""Tests for the scheme registry and shared RoutingScheme surface."""
+
+import pytest
+
+from repro.core.forwarding import MlidScheme
+from repro.core.scheme import (
+    RoutingScheme,
+    available_schemes,
+    get_scheme,
+    register_scheme,
+)
+from repro.core.slid import SlidScheme
+from repro.topology.fattree import FatTree
+
+
+def test_builtin_schemes_registered():
+    assert set(available_schemes()) >= {"mlid", "slid"}
+
+
+def test_get_scheme_case_insensitive(ft42):
+    assert isinstance(get_scheme("MLID", ft42), MlidScheme)
+    assert isinstance(get_scheme("Slid", ft42), SlidScheme)
+
+
+def test_get_unknown_scheme(ft42):
+    with pytest.raises(KeyError, match="unknown scheme"):
+        get_scheme("ecmp", ft42)
+
+
+def test_double_registration_rejected():
+    with pytest.raises(ValueError):
+        register_scheme("mlid", MlidScheme)
+
+
+def test_custom_scheme_registration(ft42):
+    class Custom(SlidScheme):
+        name = "custom-test"
+
+    try:
+        register_scheme("custom-test", Custom)
+        assert isinstance(get_scheme("custom-test", ft42), Custom)
+    finally:
+        from repro.core import scheme as scheme_mod
+
+        scheme_mod._REGISTRY.pop("custom-test", None)
+
+
+def test_build_tables_shape(ft42):
+    for name in ("mlid", "slid"):
+        scheme = get_scheme(name, ft42)
+        tables = scheme.build_tables()
+        assert len(tables) == ft42.num_switches
+        for entries in tables.values():
+            assert len(entries) == scheme.num_lids
+
+
+def test_abstract_scheme_cannot_instantiate(ft42):
+    with pytest.raises(TypeError):
+        RoutingScheme(ft42)  # abstract methods missing
+
+
+def test_schemes_agree_on_pid_ordering(ft42):
+    """Both schemes assign base LIDs in PID order."""
+    mlid = get_scheme("mlid", ft42)
+    slid = get_scheme("slid", ft42)
+    mlid_order = sorted(ft42.nodes, key=mlid.base_lid)
+    slid_order = sorted(ft42.nodes, key=slid.base_lid)
+    assert mlid_order == slid_order == ft42.nodes
+
+
+class TestDlidMatrix:
+    """Vectorized DLID matrices must equal the pairwise closed form."""
+
+    @pytest.mark.parametrize("m,n", [(4, 2), (4, 3), (8, 2), (8, 3)])
+    @pytest.mark.parametrize("name", ["mlid", "slid"])
+    def test_matrix_matches_pairwise(self, m, n, name):
+        from repro.topology.fattree import FatTree
+
+        ft = FatTree(m, n)
+        scheme = get_scheme(name, ft)
+        matrix = scheme.dlid_matrix()
+        assert matrix.shape == (ft.num_nodes, ft.num_nodes)
+        for s, src in enumerate(ft.nodes):
+            for d, dst in enumerate(ft.nodes):
+                if s == d:
+                    assert matrix[s, d] == 0
+                else:
+                    assert matrix[s, d] == scheme.dlid(src, dst)
+
+    def test_generic_fallback_used_by_extensions(self, ft42):
+        from repro.core.extensions import HashedMlidScheme
+
+        scheme = HashedMlidScheme(ft42)
+        matrix = scheme.dlid_matrix()
+        assert matrix[0, 5] == scheme.dlid(ft42.nodes[0], ft42.nodes[5])

@@ -1,0 +1,132 @@
+"""Tests for the generic up*/down* baseline scheme."""
+
+from collections import Counter
+
+import networkx as nx
+import pytest
+
+from repro.core.scheme import available_schemes, get_scheme
+from repro.core.updown import UpDownScheme
+from repro.core.verification import channel_dependency_graph, trace_path
+from repro.topology.fattree import FatTree
+
+MN = [(4, 2), (8, 2), (4, 3)]
+
+
+def all_pairs_paths(scheme):
+    ft = scheme.ft
+    for src in ft.nodes:
+        for dst in ft.nodes:
+            if src != dst:
+                yield src, dst, scheme._trace_loose(src, dst)
+
+
+def test_registered():
+    assert "updn" in available_schemes()
+    assert isinstance(get_scheme("updn", FatTree(4, 2)), UpDownScheme)
+
+
+class TestDelivery:
+    @pytest.mark.parametrize("m,n", MN)
+    def test_every_pair_delivers(self, m, n):
+        scheme = UpDownScheme(FatTree(m, n))
+        count = sum(1 for _ in all_pairs_paths(scheme))
+        assert count == scheme.ft.num_nodes * (scheme.ft.num_nodes - 1)
+
+    def test_lid_plan_is_single_lid(self):
+        scheme = UpDownScheme(FatTree(4, 2))
+        assert scheme.lmc == 0
+        assert scheme.lids_per_node == 1
+        for node in scheme.ft.nodes:
+            assert scheme.base_lid(node) == scheme.ft.pid(node) + 1
+
+    def test_self_traffic_rejected(self):
+        scheme = UpDownScheme(FatTree(4, 2))
+        with pytest.raises(ValueError):
+            scheme.dlid((0, 0), (0, 0))
+
+    def test_unknown_bfs_root_rejected(self):
+        with pytest.raises(ValueError):
+            UpDownScheme(FatTree(4, 2), bfs_root=((9,), 0))
+
+
+class TestLegality:
+    @pytest.mark.parametrize("m,n", MN)
+    def test_routes_are_up_star_down_star(self, m, n):
+        """Every realized route does all its up moves (per the BFS
+        orientation) before any down move."""
+        scheme = UpDownScheme(FatTree(m, n))
+        for src, dst, path in all_pairs_paths(scheme):
+            seen_down = False
+            for a, b in zip(path, path[1:]):
+                if scheme._is_up_move(a, b):
+                    assert not seen_down, (
+                        f"{src}->{dst}: up move after a down move in {path}"
+                    )
+                else:
+                    seen_down = True
+
+    @pytest.mark.parametrize("m,n", [(4, 2), (8, 2)])
+    def test_channel_dependency_graph_acyclic(self, m, n):
+        scheme = UpDownScheme(FatTree(m, n))
+        # trace_path enforces the minimal-length bound which updn can
+        # exceed on deep trees; these shallow ones it satisfies.
+        cdg = channel_dependency_graph(scheme)
+        assert nx.is_directed_acyclic_graph(cdg)
+
+
+class TestConcentration:
+    """The paper's motivating claim: fat-tree-blind up*/down* wastes
+    the multiple paths."""
+
+    def test_cross_group_traffic_uses_single_root(self):
+        ft = FatTree(8, 2)
+        scheme = UpDownScheme(ft)
+        roots = Counter()
+        for src, dst, path in all_pairs_paths(scheme):
+            if src[0] == dst[0]:
+                continue
+            for sw in path:
+                if sw[1] == 0:
+                    roots[sw] += 1
+        assert len(roots) == 1  # vs m/2 = 4 roots used by MLID/SLID
+        assert next(iter(roots)) == scheme.bfs_root
+
+    def test_minimal_but_concentrated_on_deeper_trees(self):
+        """On fat-trees up*/down* routes stay *minimal* (the BFS root
+        reaches every leaf minimally) — the damage is concentration,
+        not length: FT(4,3) cross-group traffic uses 1 of 4 roots."""
+        ft = FatTree(4, 3)
+        scheme = UpDownScheme(ft)
+        mlid = get_scheme("mlid", ft)
+        roots = Counter()
+        for src, dst, path in all_pairs_paths(scheme):
+            assert len(path) == len(trace_path(mlid, src, dst).switches)
+            for sw in path:
+                if sw[1] == 0:
+                    roots[sw] += 1
+        assert len(roots) == 1
+
+    def test_bfs_root_choice_moves_the_hotspot(self):
+        ft = FatTree(8, 2)
+        other_root = ft.switches_at_level(0)[2]
+        scheme = UpDownScheme(ft, bfs_root=other_root)
+        path = scheme._trace_loose((0, 0), (5, 0))
+        assert other_root in path
+
+
+class TestSimulation:
+    def test_runs_in_simulator_and_underperforms(self):
+        """updn delivers less than MLID under uniform load past the
+        single-root choke point."""
+        from repro.ib.config import SimConfig
+        from repro.ib.subnet import build_subnet
+        from repro.traffic import UniformPattern
+
+        accepted = {}
+        for name in ("updn", "mlid"):
+            net = build_subnet(8, 2, name, SimConfig(num_vls=1), seed=1)
+            net.attach_pattern(UniformPattern(net.num_nodes))
+            res = net.run_measurement(0.5, warmup_ns=10_000, measure_ns=40_000)
+            accepted[name] = res["accepted"]
+        assert accepted["mlid"] > 1.5 * accepted["updn"]

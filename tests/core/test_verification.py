@@ -1,0 +1,206 @@
+"""Tests for static route verification (and with it, end-to-end
+correctness of both routing schemes on several topologies)."""
+
+import networkx as nx
+import pytest
+
+from repro.core.forwarding import MlidScheme
+from repro.core.scheme import get_scheme
+from repro.core.slid import SlidScheme
+from repro.core.verification import (
+    RoutingError,
+    channel_dependency_graph,
+    lca_usage,
+    link_loads_all_to_one,
+    trace_path,
+    verify_scheme,
+)
+from repro.topology import groups
+from repro.topology.fattree import FatTree
+
+MN = [(4, 1), (4, 2), (4, 3), (8, 2)]
+
+
+class TestTracePath:
+    def test_paper_path_q(self, mlid43):
+        """P(000) -> P(300) rides DLID 49 through SW<00,2>, SW<00,1>,
+        SW<00,0>, SW<30,1>, SW<30,2> (the paper's worked trace)."""
+        t = trace_path(mlid43, (0, 0, 0), (3, 0, 0))
+        assert t.dlid == 49
+        assert t.switches == (
+            ((0, 0), 2),
+            ((0, 0), 1),
+            ((0, 0), 0),
+            ((3, 0), 1),
+            ((3, 0), 2),
+        )
+        assert t.turn == ((0, 0), 0)
+        assert t.hops == 6
+
+    def test_paper_paths_r_s_t_use_distinct_roots(self, mlid43):
+        """Paths Q, R, S, T from the four gcpg(0,1) members to P(300)
+        turn at four distinct roots."""
+        sources = [(0, 0, 0), (0, 0, 1), (0, 1, 0), (0, 1, 1)]
+        roots = {trace_path(mlid43, s, (3, 0, 0)).turn for s in sources}
+        assert len(roots) == 4
+        assert all(lvl == 0 for _, lvl in roots)
+
+    def test_same_leaf_route(self, mlid43):
+        t = trace_path(mlid43, (0, 0, 0), (0, 0, 1))
+        assert t.switches == (((0, 0), 2),)
+        assert t.hops == 2
+
+    def test_explicit_dlid_override(self, mlid43):
+        t = trace_path(mlid43, (0, 0, 0), (3, 0, 0), dlid=52)
+        assert t.dlid == 52
+        assert t.turn == ((1, 1), 0)
+
+    def test_links_property(self, mlid43):
+        t = trace_path(mlid43, (0, 0, 0), (3, 0, 0))
+        assert len(t.links) == len(t.switches)
+        assert t.links[0] == (((0, 0), 2), 2)
+
+
+class TestVerifyScheme:
+    @pytest.mark.parametrize("m,n", MN)
+    @pytest.mark.parametrize("name", ["mlid", "slid"])
+    def test_all_routes_valid(self, m, n, name):
+        ft = FatTree(m, n)
+        scheme = get_scheme(name, ft)
+        total_pairs = ft.num_nodes * (ft.num_nodes - 1)
+        checked = verify_scheme(scheme)
+        assert checked == total_pairs * scheme.lids_per_node
+
+    def test_selected_paths_only(self, mlid43):
+        n_nodes = mlid43.ft.num_nodes
+        assert verify_scheme(mlid43, check_offsets=False) == n_nodes * (
+            n_nodes - 1
+        )
+
+    def test_custom_pairs(self, mlid43):
+        pairs = [((0, 0, 0), (3, 1, 1))]
+        assert verify_scheme(mlid43, pairs=pairs) == 4  # 4 offsets
+
+    def test_broken_table_detected(self):
+        """Corrupting one forwarding decision must be caught."""
+        ft = FatTree(4, 2)
+
+        class Broken(MlidScheme):
+            def output_port(self, switch, lid):
+                k = super().output_port(switch, lid)
+                # Misroute one DLID at the destination's own leaf:
+                # delivers to the neighbouring node.
+                if switch == ((3,), 1) and lid == self.num_lids:
+                    return (k + 1) % self.ft.half
+                return k
+
+        with pytest.raises(RoutingError):
+            verify_scheme(Broken(ft))
+
+    def test_loop_detected(self):
+        ft = FatTree(4, 2)
+
+        class Looping(MlidScheme):
+            def output_port(self, switch, lid):
+                k = super().output_port(switch, lid)
+                _, lvl = switch
+                if lvl == 0 and lid == 1:
+                    return 3  # always descend away from dest: ping-pong
+                return k
+
+        with pytest.raises(RoutingError):
+            verify_scheme(Looping(ft), pairs=[((3, 1), (0, 0))])
+
+
+class TestLcaUsage:
+    def test_mlid_spreads_all_to_one(self, ft82):
+        """MLID: the 28 out-of-group sources to one dest spread over
+        all 4 roots evenly; in-group sources turn at the leaf."""
+        usage = lca_usage(MlidScheme(ft82), (0, 0))
+        roots = {s: c for s, c in usage.items() if s[1] == 0}
+        assert len(roots) == 4
+        assert set(roots.values()) == {7}
+
+    def test_slid_concentrates_all_to_one(self, ft82):
+        usage = lca_usage(SlidScheme(ft82), (0, 0))
+        roots = {s: c for s, c in usage.items() if s[1] == 0}
+        assert len(roots) == 1
+        assert list(roots.values()) == [28]
+
+    def test_usage_total_counts_all_sources(self, ft82):
+        for scheme in (MlidScheme(ft82), SlidScheme(ft82)):
+            usage = lca_usage(scheme, (0, 0))
+            assert sum(usage.values()) == ft82.num_nodes - 1
+
+
+class TestLinkLoads:
+    def test_mlid_max_descent_load_lower(self, ft82):
+        """The static congestion signature: SLID's hottest internal
+        channel carries ~4x MLID's under all-to-one."""
+        dst = (0, 0)
+        final_hop = (((0,), 1), 0)  # the unavoidable terminal channel
+        mlid = link_loads_all_to_one(MlidScheme(ft82), dst)
+        slid = link_loads_all_to_one(SlidScheme(ft82), dst)
+        mlid.pop(final_hop), slid.pop(final_hop)
+        assert max(mlid.values()) * 2 <= max(slid.values())
+
+    def test_terminal_channel_load_equal(self, ft82):
+        dst = (0, 0)
+        final_hop = (((0,), 1), 0)
+        mlid = link_loads_all_to_one(MlidScheme(ft82), dst)
+        slid = link_loads_all_to_one(SlidScheme(ft82), dst)
+        assert mlid[final_hop] == slid[final_hop] == ft82.num_nodes - 1
+
+
+class TestDeadlockFreedom:
+    @pytest.mark.parametrize("m,n", [(4, 2), (4, 3), (8, 2)])
+    @pytest.mark.parametrize("name", ["mlid", "slid"])
+    def test_channel_dependency_graph_acyclic(self, m, n, name):
+        scheme = get_scheme(name, FatTree(m, n))
+        cdg = channel_dependency_graph(scheme)
+        assert nx.is_directed_acyclic_graph(cdg)
+
+
+class TestMinimality:
+    @pytest.mark.parametrize("name", ["mlid", "slid"])
+    def test_path_lengths_match_gcp(self, ft43, name):
+        scheme = get_scheme(name, ft43)
+        for src in ft43.nodes[:4]:
+            for dst in ft43.nodes:
+                if src == dst:
+                    continue
+                alpha = groups.gcp_length(src, dst)
+                t = trace_path(scheme, src, dst)
+                assert len(t.switches) == 2 * (ft43.n - alpha) - 1
+
+
+class TestLargePortSampledVerification:
+    """Exhaustive verification is quadratic; at 16-port sample pairs."""
+
+    @pytest.mark.parametrize("name", ["mlid", "slid"])
+    def test_sampled_pairs_16port(self, name):
+        import numpy as np
+
+        ft = FatTree(16, 2)
+        scheme = get_scheme(name, ft)
+        rng = np.random.default_rng(0)
+        nodes = ft.nodes
+        pairs = []
+        for _ in range(150):
+            s, d = rng.choice(len(nodes), size=2, replace=False)
+            pairs.append((nodes[int(s)], nodes[int(d)]))
+        assert verify_scheme(scheme, pairs=pairs) == 150 * scheme.lids_per_node
+
+    def test_sampled_pairs_32port_mlid(self):
+        import numpy as np
+
+        ft = FatTree(32, 2)
+        scheme = get_scheme("mlid", ft)
+        rng = np.random.default_rng(1)
+        nodes = ft.nodes
+        pairs = []
+        for _ in range(60):
+            s, d = rng.choice(len(nodes), size=2, replace=False)
+            pairs.append((nodes[int(s)], nodes[int(d)]))
+        checked = verify_scheme(scheme, pairs=pairs)
+        assert checked == 60 * 16  # LMC 4 -> 16 LIDs per node

@@ -1,0 +1,114 @@
+"""Tests for the analytical bounds — including agreement with the
+simulator, which is the point of having them."""
+
+import math
+
+import pytest
+
+from repro.experiments import analytical as an
+from repro.ib.config import SimConfig
+from repro.ib.subnet import build_subnet
+from repro.traffic import CentricPattern, UniformPattern
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return SimConfig()
+
+
+class TestMinLatency:
+    def test_matches_simulated_unloaded_packet(self, cfg):
+        """The closed form equals the simulator to the nanosecond."""
+        for (m, n, alpha, src, dst) in [
+            (4, 2, 0, 0, 7),
+            (4, 2, 1, 0, 1),
+            (4, 3, 0, 0, 15),
+        ]:
+            net = build_subnet(m, n, "mlid", cfg)
+            p = net.endnodes[src].send_now(dst)
+            net.engine.run()
+            assert p.t_delivered == pytest.approx(
+                an.min_latency(cfg, m, n, alpha)
+            )
+
+    def test_alpha_validation(self, cfg):
+        with pytest.raises(ValueError):
+            an.min_latency(cfg, 4, 2, 2)
+        with pytest.raises(ValueError):
+            an.min_latency(cfg, 4, 2, -1)
+
+    def test_deeper_trees_cost_more(self, cfg):
+        assert an.min_latency(cfg, 4, 3) > an.min_latency(cfg, 4, 2)
+
+
+class TestUniformBounds:
+    @pytest.mark.parametrize("m,n,approx", [
+        (4, 2, 0.64), (8, 2, 0.32), (16, 2, 0.16), (8, 3, 0.32),
+    ])
+    def test_leaf_engine_bound_values(self, cfg, m, n, approx):
+        bound = an.uniform_leaf_engine_bound(cfg, m, n)
+        assert bound == pytest.approx(approx, rel=0.12)
+
+    def test_per_port_engines_unbounded(self, m=8, n=2):
+        cfg = SimConfig(routing_engines_per_switch=0)
+        assert math.isinf(an.uniform_leaf_engine_bound(cfg, m, n))
+
+    def test_link_bound_is_bandwidth(self, cfg):
+        assert an.uniform_link_bound(cfg, 8, 2) == cfg.link_bandwidth
+
+    def test_binding_bound_is_min(self, cfg):
+        assert an.uniform_saturation_bound(cfg, 8, 2) == min(
+            an.uniform_leaf_engine_bound(cfg, 8, 2), cfg.link_bandwidth
+        )
+
+    @pytest.mark.parametrize("m,n", [(4, 2), (8, 2)])
+    def test_simulator_respects_and_approaches_bound(self, cfg, m, n):
+        bound = an.uniform_saturation_bound(cfg, m, n)
+        net = build_subnet(m, n, "mlid", cfg, seed=1)
+        net.attach_pattern(UniformPattern(net.num_nodes))
+        res = net.run_measurement(1.2, warmup_ns=10_000, measure_ns=60_000)
+        assert res["accepted"] <= bound * 1.02
+        assert res["accepted"] >= bound * 0.80
+
+
+class TestEjectionEfficiency:
+    def test_single_vl_formula(self, cfg):
+        assert an.ejection_efficiency(cfg) == pytest.approx(256 / 296)
+
+    def test_multi_vl_approaches_one(self):
+        assert an.ejection_efficiency(SimConfig(num_vls=2)) == pytest.approx(
+            min(1.0, 512 / 296)
+        )
+        assert an.ejection_efficiency(SimConfig(num_vls=4)) == 1.0
+
+
+class TestCentricBounds:
+    def test_hot_saturation_decreases_with_fraction(self, cfg):
+        a = an.centric_hot_saturation_offered(cfg, 8, 2, 0.1)
+        b = an.centric_hot_saturation_offered(cfg, 8, 2, 0.5)
+        assert a > b
+
+    def test_fraction_validation(self, cfg):
+        with pytest.raises(ValueError):
+            an.centric_hot_saturation_offered(cfg, 8, 2, 1.5)
+        with pytest.raises(ValueError):
+            an.fifo_equalizer_bound(cfg, 8, 2, 0.0)
+
+    def test_fifo_equalizer_matches_simulation(self, cfg):
+        """With FIFO sources, measured centric saturation sits within
+        ~35% of the equalizer bound and is scheme-independent."""
+        fifo_cfg = SimConfig(num_vls=1, injection_queueing="fifo")
+        bound = an.fifo_equalizer_bound(fifo_cfg, 8, 2, 0.5)
+        for scheme in ("slid", "mlid"):
+            net = build_subnet(8, 2, scheme, fifo_cfg, seed=1)
+            net.attach_pattern(CentricPattern(net.num_nodes, 0, 0.5))
+            res = net.run_measurement(1.0, warmup_ns=10_000, measure_ns=60_000)
+            assert res["accepted"] <= bound * 1.6
+            assert res["accepted"] >= bound * 0.5
+
+    def test_below_hot_saturation_everything_flows(self, cfg):
+        offered = 0.5 * an.centric_hot_saturation_offered(cfg, 8, 2, 0.5)
+        net = build_subnet(8, 2, "mlid", cfg, seed=1)
+        net.attach_pattern(CentricPattern(net.num_nodes, 0, 0.5))
+        res = net.run_measurement(offered, warmup_ns=10_000, measure_ns=60_000)
+        assert res["accepted"] == pytest.approx(offered, rel=0.2)

@@ -1,0 +1,50 @@
+"""Tests for the ASCII curve plot."""
+
+import math
+
+from repro.experiments.report import ascii_plot
+
+
+def test_basic_plot_contains_markers_and_axes():
+    text = ascii_plot(
+        {"mlid": [(0.1, 700), (0.3, 900)], "slid": [(0.1, 720), (0.3, 1100)]},
+        xlabel="acc", ylabel="lat",
+    )
+    assert "m=mlid" in text and "s=slid" in text
+    assert "lat" in text and "acc" in text
+    assert "m" in text and "s" in text
+    assert text.count("\n") >= 18
+
+
+def test_empty_series():
+    assert "no finite points" in ascii_plot({"a": []})
+
+
+def test_nan_points_skipped():
+    text = ascii_plot({"a": [(0.1, float("nan")), (0.2, 5.0)]})
+    assert "no finite points" not in text
+
+
+def test_single_point_no_divzero():
+    text = ascii_plot({"a": [(1.0, 1.0)]})
+    assert "a=a" in text
+
+
+def test_overlap_marker():
+    text = ascii_plot({"a": [(0.5, 0.5)], "b": [(0.5, 0.5)]}, width=10, height=5)
+    assert "*" in text
+
+
+def test_marker_uniqueness_with_colliding_names():
+    text = ascii_plot(
+        {"mlid-1vl": [(0, 0), (1, 1)], "mlid-2vl": [(0, 1), (1, 0)]}
+    )
+    assert "m=mlid-1vl" in text
+    # second series must get a different marker (first unused char).
+    assert "l=mlid-2vl" in text
+
+
+def test_axis_ranges_reported():
+    text = ascii_plot({"a": [(0.0, 10.0), (2.0, 90.0)]})
+    assert "[0 .. 2]" in text
+    assert "[10 .. 90]" in text

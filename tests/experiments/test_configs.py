@@ -1,0 +1,68 @@
+"""Tests for experiment configs."""
+
+import pytest
+
+from repro.experiments.configs import (
+    ABLATIONS,
+    FIGURES,
+    TABLES,
+    all_experiments,
+    get_experiment,
+)
+
+
+def test_eight_figures_present():
+    assert sorted(FIGURES) == [f"fig{i}" for i in range(12, 20)]
+
+
+def test_figures_cover_both_patterns():
+    patterns = {cfg.pattern for cfg in FIGURES.values()}
+    assert patterns == {"uniform", "centric"}
+    uniform = [f for f in FIGURES.values() if f.pattern == "uniform"]
+    centric = [f for f in FIGURES.values() if f.pattern == "centric"]
+    assert len(uniform) == len(centric) == 4
+
+
+def test_uniform_centric_topologies_match():
+    """Each uniform figure has a centric twin on the same FT(m, n)."""
+    uniform = sorted(
+        (f.m, f.n) for f in FIGURES.values() if f.pattern == "uniform"
+    )
+    centric = sorted(
+        (f.m, f.n) for f in FIGURES.values() if f.pattern == "centric"
+    )
+    assert uniform == centric
+
+
+def test_figures_simulate_both_schemes_and_paper_vls():
+    for cfg in FIGURES.values():
+        assert set(cfg.schemes) == {"slid", "mlid"}
+        assert tuple(cfg.vl_counts) == (1, 2, 4)
+
+
+def test_quick_grid_is_subset_sized():
+    for cfg in FIGURES.values():
+        assert len(cfg.quick_loads) < len(cfg.loads)
+        assert cfg.quick_measure_ns < cfg.measure_ns
+
+
+def test_get_experiment():
+    assert get_experiment("fig13").m == 8
+    assert get_experiment("table1").id == "table1"
+    with pytest.raises(KeyError, match="unknown experiment"):
+        get_experiment("fig99")
+
+
+def test_all_experiments_disjoint_union():
+    every = all_experiments()
+    assert len(every) == len(FIGURES) + len(TABLES) + len(ABLATIONS)
+
+
+def test_num_nodes_property():
+    assert get_experiment("fig13").num_nodes == 32
+    assert get_experiment("fig18").num_nodes == 128
+
+
+def test_describe_mentions_key_facts():
+    text = get_experiment("fig17").describe()
+    assert "fig17" in text and "FT(8,2)" in text and "centric" in text

@@ -1,0 +1,98 @@
+"""Tests for report rendering."""
+
+import math
+
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.report import render_figure_result, render_table, to_csv
+from repro.experiments.runner import SweepPoint
+from repro.experiments.sweep import FigureResult
+
+
+def rows():
+    return [
+        {"a": 1, "b": 2.5, "c": "x"},
+        {"a": 10, "b": float("nan"), "c": "longer"},
+    ]
+
+
+def test_render_table_alignment():
+    text = render_table(rows())
+    lines = text.splitlines()
+    assert lines[0].startswith("a")
+    assert "-" in lines[1]
+    assert len(lines) == 4
+
+
+def test_render_table_nan_as_dash():
+    assert " -" in render_table(rows()).splitlines()[3] or "-" in render_table(
+        rows()
+    )
+
+
+def test_render_table_title_and_empty():
+    assert render_table([], title="T").startswith("T")
+    assert "(no rows)" in render_table([])
+
+
+def test_render_table_column_subset():
+    text = render_table(rows(), columns=["c", "a"])
+    header = text.splitlines()[0].split()
+    assert header == ["c", "a"]
+
+
+def test_to_csv():
+    csv = to_csv(rows(), columns=["a", "b"])
+    lines = csv.strip().splitlines()
+    assert lines[0] == "a,b"
+    assert lines[1] == "1,2.5"
+    assert lines[2] == "10,-"
+
+
+def test_to_csv_empty():
+    assert to_csv([]) == ""
+
+
+def _point(scheme, vls, offered, accepted):
+    return SweepPoint(
+        scheme=scheme,
+        num_vls=vls,
+        offered=offered,
+        accepted=accepted,
+        latency_mean=700.0,
+        latency_p99=900.0,
+        latency_total_mean=750.0,
+        packets=100,
+        replicas=1,
+    )
+
+
+def figure_result():
+    cfg = ExperimentConfig(
+        id="figX", title="test figure", m=4, n=2, pattern="uniform",
+        vl_counts=(1,), notes="synthetic",
+    )
+    res = FigureResult(config=cfg)
+    res.curves[("slid", 1)] = [_point("slid", 1, 0.1, 0.1), _point("slid", 1, 0.3, 0.25)]
+    res.curves[("mlid", 1)] = [_point("mlid", 1, 0.1, 0.1), _point("mlid", 1, 0.3, 0.28)]
+    return res
+
+
+def test_render_figure_result_contains_summary():
+    text = render_figure_result(figure_result())
+    assert "figX" in text
+    assert "saturation throughput" in text
+    assert "mlid" in text and "slid" in text
+    assert "synthetic" in text
+
+
+def test_figure_result_saturation():
+    res = figure_result()
+    assert res.saturation("mlid", 1) == 0.28
+    assert res.saturation("slid", 1) == 0.25
+
+
+def test_summary_rows():
+    res = figure_result()
+    rows_ = res.summary_rows()
+    assert len(rows_) == 2
+    assert {r["scheme"] for r in rows_} == {"mlid", "slid"}

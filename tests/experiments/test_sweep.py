@@ -1,0 +1,86 @@
+"""Tests for full-figure orchestration (tiny synthetic config)."""
+
+import pytest
+
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.sweep import FigureResult, run_figure
+from repro.ib.config import SimConfig
+
+TINY = ExperimentConfig(
+    id="tiny",
+    title="tiny synthetic figure",
+    m=4,
+    n=2,
+    pattern="uniform",
+    vl_counts=(1, 2),
+    loads=(0.05, 0.2),
+    quick_loads=(0.1,),
+    warmup_ns=2_000.0,
+    measure_ns=15_000.0,
+    quick_warmup_ns=1_000.0,
+    quick_measure_ns=8_000.0,
+    seeds=(1,),
+    quick_seeds=(1,),
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_figure(TINY)
+
+
+def test_all_curves_present(result):
+    assert set(result.curves) == {
+        ("slid", 1), ("slid", 2), ("mlid", 1), ("mlid", 2)
+    }
+
+
+def test_curves_follow_load_grid(result):
+    for points in result.curves.values():
+        assert [p.offered for p in points] == [0.05, 0.2]
+
+
+def test_vl_count_propagated(result):
+    for (scheme, vls), points in result.curves.items():
+        assert all(p.num_vls == vls for p in points)
+
+
+def test_saturation_accessor(result):
+    sat = result.saturation("mlid", 1)
+    assert sat == max(p.accepted for p in result.curves[("mlid", 1)])
+
+
+def test_summary_rows_one_per_curve(result):
+    rows = result.summary_rows()
+    assert len(rows) == 4
+    for row in rows:
+        assert row["saturation"] > 0
+
+
+def test_quick_mode_uses_quick_grid():
+    quick = run_figure(TINY, quick=True)
+    for points in quick.curves.values():
+        assert [p.offered for p in points] == [0.1]
+
+
+def test_base_cfg_override():
+    cfg = SimConfig(packet_bytes=128)
+    res = run_figure(TINY, quick=True, base_cfg=cfg)
+    assert res.curves[("mlid", 1)][0].packets > 0
+
+
+def test_centric_figure_runs():
+    centric = ExperimentConfig(
+        id="tiny-centric",
+        title="tiny centric",
+        m=4,
+        n=2,
+        pattern="centric",
+        vl_counts=(1,),
+        quick_loads=(0.2,),
+        quick_warmup_ns=1_000.0,
+        quick_measure_ns=8_000.0,
+        quick_seeds=(1,),
+    )
+    res = run_figure(centric, quick=True)
+    assert res.curves[("mlid", 1)][0].accepted > 0

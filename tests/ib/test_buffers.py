@@ -1,0 +1,82 @@
+"""Tests for VL buffers and credit accounts."""
+
+import pytest
+
+from repro.ib.buffers import VlBuffer
+from repro.ib.flowcontrol import CreditAccount
+from repro.ib.packet import Packet
+
+
+def pkt(vl=0):
+    return Packet(1, 2, 0, 1, 256, vl, 0.0)
+
+
+class TestVlBuffer:
+    def test_fifo_order(self):
+        buf = VlBuffer(3)
+        a, b = pkt(), pkt()
+        buf.push(a)
+        buf.push(b)
+        assert buf.head() is a
+        assert buf.pop() is a
+        assert buf.pop() is b
+
+    def test_capacity_enforced(self):
+        buf = VlBuffer(1)
+        buf.push(pkt())
+        assert not buf.can_accept()
+        with pytest.raises(OverflowError, match="flow control"):
+            buf.push(pkt())
+
+    def test_free_slots(self):
+        buf = VlBuffer(2)
+        assert buf.free_slots == 2
+        buf.push(pkt())
+        assert buf.free_slots == 1
+        assert buf.occupied == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            VlBuffer(1).pop()
+
+    def test_head_empty_is_none(self):
+        assert VlBuffer(1).head() is None
+
+    def test_len(self):
+        buf = VlBuffer(2)
+        assert len(buf) == 0
+        buf.push(pkt())
+        assert len(buf) == 1
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            VlBuffer(0)
+
+
+class TestCreditAccount:
+    def test_initial_credits(self):
+        acct = CreditAccount(3)
+        assert acct.available == 3
+        assert acct.can_send()
+
+    def test_consume_and_restore(self):
+        acct = CreditAccount(1)
+        acct.consume()
+        assert not acct.can_send()
+        acct.restore()
+        assert acct.can_send()
+
+    def test_underflow_detected(self):
+        acct = CreditAccount(1)
+        acct.consume()
+        with pytest.raises(RuntimeError, match="underflow"):
+            acct.consume()
+
+    def test_overflow_detected(self):
+        acct = CreditAccount(2)
+        with pytest.raises(RuntimeError, match="overflow"):
+            acct.restore()
+
+    def test_zero_initial_rejected(self):
+        with pytest.raises(ValueError):
+            CreditAccount(0)

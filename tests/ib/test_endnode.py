@@ -1,0 +1,229 @@
+"""Tests for the endnode: generation, injection queues, sink."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ib.config import SimConfig
+from repro.ib.endnode import Endnode, FifoInjection, PerDestinationInjection
+from repro.ib.packet import Packet
+from repro.sim.engine import Engine
+from repro.sim.stats import LatencyStats, ThroughputMeter, WarmupFilter
+
+
+def make_node(num_vls=1, queueing="per_destination", seed=0, **cfg_kw):
+    cfg = SimConfig(num_vls=num_vls, injection_queueing=queueing, **cfg_kw)
+    eng = Engine()
+    node = Endnode(eng, cfg, pid=0, slid=1, rng=np.random.default_rng(seed))
+    node.dlid_for = lambda s, d: d + 1
+    node.choose_destination = lambda rng: 1
+    return eng, cfg, node
+
+
+class Recorder:
+    def __init__(self, engine):
+        self.engine = engine
+        self.got = []
+
+    def receive(self, packet):
+        self.got.append((self.engine.now, packet))
+
+
+def pkt(dst=0, vl=0):
+    return Packet(5, dst + 1, 4, dst, 256, vl, 0.0)
+
+
+class TestInjectionQueues:
+    def test_fifo_order(self):
+        q = FifoInjection(1)
+        a, b = pkt(1), pkt(2)
+        q.push(a)
+        q.push(b)
+        assert q.pull(0) is a
+        assert q.pull(0) is b
+        assert q.pull(0) is None
+        assert q.backlog == 0
+
+    def test_fifo_per_vl(self):
+        q = FifoInjection(2)
+        a, b = pkt(1, vl=0), pkt(2, vl=1)
+        q.push(a)
+        q.push(b)
+        assert q.pull(1) is b
+        assert q.pull(0) is a
+
+    def test_per_destination_round_robin(self):
+        q = PerDestinationInjection(1)
+        a1, a2 = pkt(1), pkt(1)
+        b1 = pkt(2)
+        q.push(a1)
+        q.push(a2)
+        q.push(b1)
+        # RR over destinations: 1, 2, 1.
+        assert q.pull(0) is a1
+        assert q.pull(0) is b1
+        assert q.pull(0) is a2
+        assert q.pull(0) is None
+
+    def test_per_destination_backlog(self):
+        q = PerDestinationInjection(1)
+        for d in (1, 1, 2, 3):
+            q.push(pkt(d))
+        assert q.backlog == 4
+        q.pull(0)
+        assert q.backlog == 3
+
+    def test_per_destination_hot_flow_does_not_block_others(self):
+        """The key property: an arbitrarily deep hot queue still lets
+        other destinations drain at the RR share."""
+        q = PerDestinationInjection(1)
+        for _ in range(100):
+            q.push(pkt(9))  # hot backlog
+        q.push(pkt(1))
+        got = [q.pull(0).dst_pid for _ in range(3)]
+        assert 1 in got[:2]  # served within one RR round
+
+
+class TestGeneration:
+    def test_zero_rate_generates_nothing(self):
+        eng, cfg, node = make_node()
+        node.start_generation(0.0)
+        eng.run(until=10_000)
+        assert node.packets_generated == 0
+
+    def test_negative_rate_rejected(self):
+        eng, cfg, node = make_node()
+        with pytest.raises(ValueError):
+            node.start_generation(-1.0)
+
+    def test_deterministic_rate(self):
+        eng, cfg, node = make_node(arrival_process="deterministic")
+        node.tx.connect(Recorder(eng))
+        node.start_generation(0.001)  # one per 1000 ns
+        eng.run(until=10_500)
+        assert node.packets_generated == 10 or node.packets_generated == 11
+
+    def test_exponential_rate_mean(self):
+        eng, cfg, node = make_node(arrival_process="exponential")
+        node.tx.connect(Recorder(eng))
+        node.start_generation(0.01)
+        eng.run(until=100_000)
+        assert node.packets_generated == pytest.approx(1000, rel=0.15)
+
+    def test_self_traffic_detected(self):
+        eng, cfg, node = make_node()
+        node.choose_destination = lambda rng: 0  # self!
+        node.start_generation(0.001)
+        with pytest.raises(RuntimeError, match="itself"):
+            eng.run(until=5_000)
+
+    def test_send_now_returns_packet(self):
+        eng, cfg, node = make_node()
+        p = node.send_now(3)
+        assert p.dst_pid == 3
+        assert p.dlid == 4
+        assert node.packets_generated == 1
+        # The ambient chooser is restored.
+        assert node.choose_destination(None) == 1
+
+    def test_dlid_taken_from_resolver(self):
+        eng, cfg, node = make_node()
+        node.dlid_for = lambda s, d: 777
+        assert node.send_now(5).dlid == 777
+
+
+class TestVlAssignment:
+    def test_single_vl_always_zero(self):
+        eng, cfg, node = make_node(num_vls=1)
+        assert node.send_now(3).vl == 0
+
+    def test_hash_policy_deterministic_per_pair(self):
+        eng, cfg, node = make_node(num_vls=4, vl_policy="hash")
+        vls = {node.send_now(3).vl for _ in range(5)}
+        assert len(vls) == 1
+
+    def test_hash_policy_spreads_destinations(self):
+        eng, cfg, node = make_node(num_vls=4, vl_policy="hash")
+        vls = {node.send_now(d).vl for d in range(1, 30)}
+        assert len(vls) > 1
+
+    def test_roundrobin_policy_cycles(self):
+        eng, cfg, node = make_node(num_vls=2, vl_policy="roundrobin")
+        vls = [node.send_now(3).vl for _ in range(4)]
+        assert vls == [1, 0, 1, 0]
+
+    def test_random_policy_in_range(self):
+        eng, cfg, node = make_node(num_vls=4, vl_policy="random")
+        for _ in range(20):
+            assert 0 <= node.send_now(3).vl < 4
+
+
+class TestNicPath:
+    def test_packet_reaches_wire(self):
+        eng, cfg, node = make_node()
+        rx = Recorder(eng)
+        node.tx.connect(rx)
+        node.send_now(1)
+        eng.run()
+        assert len(rx.got) == 1
+        assert rx.got[0][0] == cfg.flying_time_ns
+
+    def test_backlog_drains_on_refill(self):
+        eng, cfg, node = make_node()
+        rx = Recorder(eng)
+        node.tx.connect(rx)
+        for _ in range(3):
+            node.send_now(1)
+        assert node.backlog == 2  # one in NIC, two queued
+        eng.run()
+        # Only one credit: further sends wait for returns.
+        node.tx.credit_return(0)
+        eng.run()
+        node.tx.credit_return(0)
+        eng.run()
+        assert len(rx.got) == 3
+        assert node.backlog == 0
+
+
+class TestSink:
+    def test_delivery_stamps_and_stats(self):
+        eng, cfg, node = make_node()
+        node.latency = LatencyStats()
+        node.net_latency = LatencyStats()
+        node.throughput = ThroughputMeter(WarmupFilter(0.0, 1e9))
+        up = node.tx  # reuse as a dummy upstream credit target
+        node.upstream = up
+        up.credits[0].consume()  # make room for the return
+        p = Packet(5, 1, 4, 0, 256, 0, t_created=0.0)
+        p.t_injected = 100.0
+        eng.schedule(500.0, lambda: node.receive(p))
+        eng.run()
+        assert p.t_delivered == 500.0 + 256.0
+        assert node.packets_received == 1
+        assert node.latency.count == 1
+        assert node.latency.mean == pytest.approx(756.0)
+        assert node.net_latency.mean == pytest.approx(656.0)
+
+    def test_misdelivery_detected(self):
+        eng, cfg, node = make_node()
+        p = Packet(5, 9, 4, 8, 256, 0, t_created=0.0)  # for pid 8, not 0
+        node.receive(p)
+        with pytest.raises(RuntimeError, match="forwarding tables"):
+            eng.run()
+
+    def test_credit_returned_after_tail_plus_flying(self):
+        eng, cfg, node = make_node()
+
+        class UpstreamStub:
+            def __init__(self):
+                self.times = []
+
+            def credit_return(self, vl):
+                self.times.append(eng.now)
+
+        node.upstream = UpstreamStub()
+        p = Packet(5, 1, 4, 0, 256, 0, t_created=0.0)
+        node.receive(p)
+        eng.run()
+        assert node.upstream.times == [256.0 + 20.0]

@@ -1,0 +1,102 @@
+"""Tests for fabric instrumentation."""
+
+import pytest
+
+from repro.ib.config import SimConfig
+from repro.ib.instrumentation import (
+    FabricReport,
+    LinkProbe,
+    probe_fabric,
+    routing_pressure,
+)
+from repro.ib.subnet import build_subnet
+from repro.traffic import CentricPattern, UniformPattern
+
+
+@pytest.fixture(scope="module")
+def measured_net():
+    net = build_subnet(4, 2, "mlid", SimConfig(num_vls=1), seed=1)
+    net.attach_pattern(UniformPattern(net.num_nodes))
+    net.run_measurement(0.3, warmup_ns=2_000, measure_ns=30_000)
+    return net
+
+
+def test_probe_before_running_rejected():
+    net = build_subnet(4, 2, "mlid")
+    with pytest.raises(RuntimeError, match="t=0"):
+        probe_fabric(net)
+    with pytest.raises(RuntimeError):
+        routing_pressure(net)
+
+
+def test_probe_counts_every_channel(measured_net):
+    report = probe_fabric(measured_net)
+    ft = measured_net.ft
+    expected = ft.num_nodes + ft.num_switches * ft.m
+    assert len(report.links) == expected
+
+
+def test_layer_partition(measured_net):
+    report = probe_fabric(measured_net)
+    by = report.by_layer()
+    ft = measured_net.ft
+    assert len(by["injection"]) == ft.num_nodes
+    assert len(by["ejection"]) == ft.num_nodes
+    # Root down-links + leaf down-links... all switch->switch channels
+    # split evenly between up and down.
+    sw_channels = ft.num_switches * ft.m - ft.num_nodes
+    assert len(by["up"]) == len(by["down"]) == sw_channels // 2
+
+
+def test_utilizations_bounded(measured_net):
+    report = probe_fabric(measured_net)
+    for link in report.links:
+        assert 0.0 <= link.utilization <= 1.0
+
+
+def test_traffic_was_observed(measured_net):
+    report = probe_fabric(measured_net)
+    stats = {row["layer"]: row for row in report.layer_stats()}
+    assert stats["injection"]["packets"] > 0
+    assert stats["ejection"]["packets"] > 0
+    assert stats["injection"]["mean_util"] > 0.05
+
+
+def test_hottest_ordering(measured_net):
+    report = probe_fabric(measured_net)
+    top = report.hottest(3)
+    assert len(top) == 3
+    assert top[0].utilization >= top[1].utilization >= top[2].utilization
+    with pytest.raises(ValueError):
+        report.hottest(0)
+
+
+def test_imbalance_unknown_layer(measured_net):
+    report = probe_fabric(measured_net)
+    with pytest.raises(ValueError):
+        report.imbalance("sideways")
+
+
+def test_link_probe_layer_validated():
+    with pytest.raises(ValueError):
+        LinkProbe(layer="diagonal", name="x", utilization=0.0, packets=0)
+
+
+def test_hotspot_shows_down_layer_imbalance():
+    """SLID's all-to-one concentration is visible as down-layer
+    imbalance >= MLID's."""
+    imb = {}
+    for scheme in ("slid", "mlid"):
+        net = build_subnet(8, 2, scheme, SimConfig(num_vls=1), seed=1)
+        net.attach_pattern(CentricPattern(net.num_nodes, 0, 0.5))
+        net.run_measurement(0.5, warmup_ns=5_000, measure_ns=40_000)
+        imb[scheme] = probe_fabric(net).imbalance("down")
+    assert imb["slid"] > imb["mlid"]
+
+
+def test_routing_pressure_sorted_and_bounded(measured_net):
+    pressure = routing_pressure(measured_net)
+    assert len(pressure) == measured_net.ft.num_switches
+    values = [v for _, v in pressure]
+    assert values == sorted(values, reverse=True)
+    assert all(0.0 <= v <= 1.0 + 1e-9 for v in values)

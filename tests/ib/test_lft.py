@@ -1,0 +1,54 @@
+"""Tests for linear forwarding tables."""
+
+import pytest
+
+from repro.ib.lft import LinearForwardingTable
+
+
+def test_lookup_is_one_based_dlid():
+    lft = LinearForwardingTable([3, 1, 2], num_physical_ports=4)
+    assert lft.lookup(1) == 3
+    assert lft.lookup(2) == 1
+    assert lft.lookup(3) == 2
+
+
+def test_unknown_dlid_raises():
+    lft = LinearForwardingTable([1], num_physical_ports=2)
+    with pytest.raises(KeyError):
+        lft.lookup(0)
+    with pytest.raises(KeyError):
+        lft.lookup(2)
+
+
+def test_port_zero_rejected():
+    """Port 0 is the management port and never a data output."""
+    with pytest.raises(ValueError):
+        LinearForwardingTable([0], num_physical_ports=4)
+
+
+def test_port_above_max_rejected():
+    with pytest.raises(ValueError):
+        LinearForwardingTable([5], num_physical_ports=4)
+
+
+def test_from_zero_based_shifts():
+    lft = LinearForwardingTable.from_zero_based([0, 3, 2], num_physical_ports=4)
+    assert [lft.lookup(lid) for lid in (1, 2, 3)] == [1, 4, 3]
+
+
+def test_len():
+    assert len(LinearForwardingTable([1, 2], num_physical_ports=4)) == 2
+
+
+def test_equality():
+    a = LinearForwardingTable([1, 2], 4)
+    b = LinearForwardingTable([1, 2], 4)
+    c = LinearForwardingTable([2, 1], 4)
+    assert a == b
+    assert a != c
+    assert a != "not a table"
+
+
+def test_needs_at_least_one_port():
+    with pytest.raises(ValueError):
+        LinearForwardingTable([], num_physical_ports=0)

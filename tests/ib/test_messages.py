@@ -1,0 +1,78 @@
+"""Tests for multi-packet messages."""
+
+import pytest
+
+from repro.ib.config import SimConfig
+from repro.ib.subnet import build_subnet
+from repro.traffic import UniformPattern
+
+
+def test_message_packets_validated():
+    with pytest.raises(ValueError):
+        SimConfig(message_packets=0)
+
+
+def test_message_emission_counts():
+    cfg = SimConfig(message_packets=4)
+    net = build_subnet(4, 2, "mlid", cfg, seed=1)
+    tail = net.endnodes[0].send_now(5)
+    assert net.endnodes[0].packets_generated == 4
+    assert tail.is_message_tail
+
+
+def test_message_packets_share_id_dlid_vl():
+    cfg = SimConfig(message_packets=3, num_vls=4)
+    net = build_subnet(4, 2, "mlid", cfg, seed=1)
+    node = net.endnodes[0]
+    tail = node.send_now(5)
+    # Drain the injection queue (the head packet went straight into
+    # the NIC buffer; the remaining two queue on the tail's VL).
+    packets = []
+    while True:
+        p = node.injection.pull(tail.vl)
+        if p is None:
+            break
+        packets.append(p)
+    assert len(packets) == 2
+    assert all(p.message_id == tail.message_id for p in packets)
+    assert all(p.dlid == tail.dlid and p.vl == tail.vl for p in packets)
+    assert [p.is_message_tail for p in packets] == [False, True]
+    assert packets[-1] is tail
+
+
+def test_message_delivery_and_latency():
+    """A 4-packet message's latency spans all four serializations."""
+    cfg = SimConfig(message_packets=4)
+    net = build_subnet(4, 2, "mlid", cfg, seed=1)
+    net.attach_pattern(UniformPattern(net.num_nodes))
+    res = net.run_measurement(0.2, warmup_ns=5_000, measure_ns=40_000)
+    # Throughput counts all packets; latency only message tails (a few
+    # messages straddle the window boundary, hence the slack).
+    assert res["packets"] >= 4 * (net.latency.count - 3)
+    assert net.latency.count <= res["packets"] // 3
+    # Tail latency includes at least 3 extra serializations over the
+    # single-packet minimum.
+    single_min = 4 * cfg.flying_time_ns + 3 * cfg.routing_time_ns + 256.0
+    assert net.latency.min >= single_min - 1e-6
+
+
+def test_message_rate_preserves_offered_bytes():
+    """message_packets=k at the same offered load generates ~the same
+    byte volume (messages come k times less often)."""
+    byte_counts = []
+    for k in (1, 4):
+        cfg = SimConfig(message_packets=k)
+        net = build_subnet(4, 2, "mlid", cfg, seed=1)
+        net.attach_pattern(UniformPattern(net.num_nodes))
+        net.run_measurement(0.2, warmup_ns=5_000, measure_ns=60_000)
+        generated = sum(nd.packets_generated for nd in net.endnodes)
+        byte_counts.append(generated * cfg.packet_bytes)
+    assert byte_counts[1] == pytest.approx(byte_counts[0], rel=0.15)
+
+
+def test_single_packet_message_unchanged():
+    """Default config: every packet is its own message tail."""
+    net = build_subnet(4, 2, "mlid", seed=1)
+    p = net.endnodes[0].send_now(3)
+    assert p.is_message_tail
+    assert p.message_id == p.serial

@@ -1,0 +1,47 @@
+"""Tests for the packet structure."""
+
+import pytest
+
+from repro.ib.packet import Packet
+
+
+def make(**kw):
+    defaults = dict(
+        slid=1, dlid=5, src_pid=0, dst_pid=1, size_bytes=256, vl=0, t_created=10.0
+    )
+    defaults.update(kw)
+    return Packet(**defaults)
+
+
+def test_fields():
+    p = make()
+    assert (p.slid, p.dlid, p.src_pid, p.dst_pid) == (1, 5, 0, 1)
+    assert p.size_bytes == 256
+    assert p.vl == 0
+    assert p.t_created == 10.0
+    assert p.hops == 0
+
+
+def test_serials_unique_and_increasing():
+    a, b, c = make(), make(), make()
+    assert a.serial < b.serial < c.serial
+
+
+def test_latency_requires_delivery():
+    p = make()
+    with pytest.raises(RuntimeError):
+        _ = p.latency
+    p.t_delivered = 110.0
+    assert p.latency == 100.0
+
+
+def test_injection_stamp_defaults_unset():
+    p = make()
+    assert p.t_injected < 0
+    assert p.t_delivered < 0
+
+
+def test_slots_prevent_arbitrary_attributes():
+    p = make()
+    with pytest.raises(AttributeError):
+        p.bogus = 1

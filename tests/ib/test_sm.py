@@ -1,0 +1,82 @@
+"""Tests for the Subnet Manager."""
+
+import pytest
+
+from repro.core.scheme import get_scheme
+from repro.ib.sm import DiscoveryError, SubnetManager
+from repro.topology.fattree import Endpoint, FatTree
+
+MN = [(4, 2), (4, 3), (8, 2)]
+
+
+@pytest.mark.parametrize("m,n", MN)
+@pytest.mark.parametrize("name", ["mlid", "slid"])
+def test_discovery_finds_everything(m, n, name):
+    ft = FatTree(m, n)
+    sm = SubnetManager(get_scheme(name, ft))
+    switches, nodes = sm.discover()
+    assert len(switches) == ft.num_switches
+    assert len(nodes) == ft.num_nodes
+
+
+def test_discovery_detects_missing_switch():
+    ft = FatTree(4, 2)
+    sm = SubnetManager(get_scheme("mlid", ft))
+    # Sever one root entirely: replace its ports with dangling stubs
+    # by pointing every neighbour's port at a nonexistent endpoint.
+    victim = ((1,), 0)
+    for k, ep in enumerate(ft.ports(victim)):
+        peer_ports = ft._wiring[ep.switch]
+        peer_ports[ep.port] = Endpoint(switch=victim, port=k)
+    # Now remove the victim from the wiring map so it can't be entered.
+    ft.switches.remove(victim)
+    del ft._wiring[victim]
+    with pytest.raises((DiscoveryError, KeyError)):
+        sm.discover()
+
+
+@pytest.mark.parametrize("name", ["mlid", "slid"])
+def test_lid_plan_dense(name):
+    ft = FatTree(4, 3)
+    sm = SubnetManager(get_scheme(name, ft))
+    plan = sm.assign_lids()
+    assert len(plan) == ft.num_nodes
+    all_lids = sorted(lid for window in plan.values() for lid in window)
+    assert all_lids == list(range(1, sm.scheme.num_lids + 1))
+
+
+def test_lid_plan_rejects_overlap():
+    ft = FatTree(4, 2)
+    scheme = get_scheme("mlid", ft)
+    scheme.base_lid = lambda node: 1  # sabotage: everyone overlaps
+    sm = SubnetManager(scheme)
+    with pytest.raises(RuntimeError, match="LID windows"):
+        sm.assign_lids()
+
+
+@pytest.mark.parametrize("name", ["mlid", "slid"])
+def test_lfts_use_physical_ports(name):
+    ft = FatTree(4, 2)
+    sm = SubnetManager(get_scheme(name, ft))
+    lfts = sm.program_lfts()
+    assert set(lfts) == set(ft.switches)
+    for sw, lft in lfts.items():
+        for lid in range(1, sm.scheme.num_lids + 1):
+            assert 1 <= lft.lookup(lid) <= ft.m
+
+
+def test_lft_matches_scheme_plus_one():
+    ft = FatTree(4, 2)
+    scheme = get_scheme("mlid", ft)
+    sm = SubnetManager(scheme)
+    lfts = sm.program_lfts()
+    sw = ft.switches[0]
+    for lid in range(1, scheme.num_lids + 1):
+        assert lfts[sw].lookup(lid) == scheme.output_port(sw, lid) + 1
+
+
+def test_configure_runs_all_stages():
+    ft = FatTree(4, 2)
+    sm = SubnetManager(get_scheme("mlid", ft))
+    lfts = sm.configure()
+    assert len(lfts) == ft.num_switches

@@ -1,0 +1,136 @@
+"""End-to-end integration tests across the whole stack.
+
+These run real (small, short) simulations and check the paper's
+qualitative claims plus global sanity invariants.
+"""
+
+import pytest
+
+from repro.core.verification import trace_path
+from repro.ib.config import SimConfig
+from repro.ib.subnet import build_subnet
+from repro.traffic import CentricPattern, PermutationPattern, UniformPattern
+
+FAST = dict(warmup_ns=5_000.0, measure_ns=40_000.0)
+
+
+class TestDeliveryAgainstStaticTraces:
+    """Simulated hop counts must match the statically traced routes."""
+
+    @pytest.mark.parametrize("scheme", ["mlid", "slid"])
+    def test_hops_match_trace(self, scheme):
+        net = build_subnet(4, 3, scheme)
+        src_pid, dst_pid = 0, net.num_nodes - 1
+        p = net.endnodes[src_pid].send_now(dst_pid)
+        net.engine.run()
+        static = trace_path(
+            net.scheme,
+            net.ft.node_from_pid(src_pid),
+            net.ft.node_from_pid(dst_pid),
+        )
+        assert p.hops == len(static.switches)
+        assert p.dlid == static.dlid
+
+    @pytest.mark.parametrize("scheme", ["mlid", "slid"])
+    def test_every_pair_delivers_one_packet(self, scheme):
+        """Send one packet between every ordered pair; all arrive."""
+        net = build_subnet(4, 2, scheme)
+        count = 0
+        for s in range(net.num_nodes):
+            for d in range(net.num_nodes):
+                if s != d:
+                    net.endnodes[s].send_now(d)
+                    count += 1
+        net.engine.run()
+        received = sum(nd.packets_received for nd in net.endnodes)
+        assert received == count
+
+
+class TestPaperShapes:
+    """The qualitative results (Remarks 1-3) on fast mini-runs."""
+
+    def test_centric_mlid_beats_slid_at_high_load(self):
+        accepted = {}
+        for scheme in ("slid", "mlid"):
+            net = build_subnet(8, 2, scheme, SimConfig(num_vls=1), seed=5)
+            net.attach_pattern(CentricPattern(net.num_nodes, 0, 0.5))
+            accepted[scheme] = net.run_measurement(0.8, **FAST)["accepted"]
+        assert accepted["mlid"] >= accepted["slid"]
+
+    def test_uniform_low_load_latency_comparable(self):
+        lat = {}
+        for scheme in ("slid", "mlid"):
+            net = build_subnet(8, 2, scheme, seed=5)
+            net.attach_pattern(UniformPattern(net.num_nodes))
+            lat[scheme] = net.run_measurement(0.05, **FAST)["latency_mean"]
+        assert lat["mlid"] == pytest.approx(lat["slid"], rel=0.1)
+
+    def test_more_vls_improve_centric_throughput(self):
+        accepted = []
+        for vls in (1, 4):
+            net = build_subnet(8, 2, "mlid", SimConfig(num_vls=vls), seed=5)
+            net.attach_pattern(CentricPattern(net.num_nodes, 0, 0.5))
+            accepted.append(net.run_measurement(0.6, **FAST)["accepted"])
+        assert accepted[1] > accepted[0]
+
+    def test_latency_grows_with_load(self):
+        lats = []
+        for load in (0.05, 0.3):
+            net = build_subnet(8, 2, "mlid", seed=5)
+            net.attach_pattern(UniformPattern(net.num_nodes))
+            lats.append(net.run_measurement(load, **FAST)["latency_mean"])
+        assert lats[1] > lats[0]
+
+
+class TestWorkloads:
+    def test_permutation_traffic_balanced_delivery(self):
+        net = build_subnet(8, 2, "mlid", seed=9)
+        net.attach_pattern(PermutationPattern(net.num_nodes, seed=4))
+        net.run_measurement(0.3, **FAST)
+        per_dst = net.throughput.per_destination
+        counts = [per_dst.get(pid, 0) for pid in range(net.num_nodes)]
+        assert min(counts) > 0
+        assert max(counts) <= 2.5 * min(counts)
+
+    def test_centric_hot_node_receives_most(self):
+        net = build_subnet(8, 2, "mlid", seed=9)
+        net.attach_pattern(CentricPattern(net.num_nodes, hot_pid=3, fraction=0.5))
+        net.run_measurement(0.2, **FAST)
+        per_dst = net.throughput.per_destination
+        hot = per_dst.get(3, 0)
+        others = [v for k, v in per_dst.items() if k != 3]
+        assert hot > max(others)
+
+
+class TestModelKnobs:
+    def test_fifo_injection_equalizes_centric(self):
+        """The ablation claim from DESIGN.md: with single-FIFO sources,
+        MLID's centric advantage (largely) disappears."""
+        accepted = {}
+        for scheme in ("slid", "mlid"):
+            cfg = SimConfig(num_vls=1, injection_queueing="fifo")
+            net = build_subnet(8, 2, scheme, cfg, seed=5)
+            net.attach_pattern(CentricPattern(net.num_nodes, 0, 0.5))
+            accepted[scheme] = net.run_measurement(0.8, **FAST)["accepted"]
+        assert accepted["mlid"] == pytest.approx(accepted["slid"], rel=0.25)
+
+    def test_unlimited_engines_raise_uniform_saturation(self):
+        accepted = {}
+        for engines in (1, 0):
+            cfg = SimConfig(num_vls=1, routing_engines_per_switch=engines)
+            net = build_subnet(8, 2, "mlid", cfg, seed=5)
+            net.attach_pattern(UniformPattern(net.num_nodes))
+            accepted[engines] = net.run_measurement(0.9, **FAST)["accepted"]
+        assert accepted[0] > accepted[1]
+
+    def test_bigger_buffers_raise_saturation(self):
+        accepted = {}
+        for buf in (1, 4):
+            cfg = SimConfig(
+                num_vls=1, buffer_packets_per_vl=buf,
+                routing_engines_per_switch=0,
+            )
+            net = build_subnet(8, 2, "mlid", cfg, seed=5)
+            net.attach_pattern(UniformPattern(net.num_nodes))
+            accepted[buf] = net.run_measurement(1.0, **FAST)["accepted"]
+        assert accepted[4] > accepted[1]

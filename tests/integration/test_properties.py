@@ -1,0 +1,65 @@
+"""Property-based tests on whole-simulation invariants (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ib.config import SimConfig
+from repro.ib.subnet import build_subnet
+from repro.traffic import UniformPattern
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    scheme=st.sampled_from(["mlid", "slid"]),
+    num_vls=st.sampled_from([1, 2, 4]),
+    load=st.floats(min_value=0.02, max_value=0.6),
+    seed=st.integers(0, 1000),
+)
+def test_simulation_invariants(scheme, num_vls, load, seed):
+    """For any (scheme, VLs, load, seed) on FT(4,2):
+
+    * packet conservation: generated = received + backlog + in-fabric,
+      with in-fabric bounded by total buffer capacity;
+    * accepted traffic never exceeds offered (statistically: 25% slack
+      for the short window) nor the per-node link bandwidth;
+    * every received packet's hop count is a plausible route length.
+    """
+    cfg = SimConfig(num_vls=num_vls)
+    net = build_subnet(4, 2, scheme, cfg, seed=seed)
+    net.attach_pattern(UniformPattern(net.num_nodes))
+    res = net.run_measurement(load, warmup_ns=2_000, measure_ns=20_000)
+
+    generated = sum(nd.packets_generated for nd in net.endnodes)
+    received = sum(nd.packets_received for nd in net.endnodes)
+    backlog = sum(nd.backlog for nd in net.endnodes)
+    in_fabric = generated - received - backlog
+    capacity = 2 * net.ft.num_switches * net.ft.m * num_vls + 2 * net.num_nodes * num_vls
+    assert 0 <= in_fabric <= capacity
+
+    assert res["accepted"] <= cfg.link_bandwidth
+    assert res["accepted"] <= load * 1.35 + 0.02
+
+    # Latency is at least the unloaded minimum (same-leaf route).
+    if net.latency.count:
+        minimum = 2 * cfg.flying_time_ns + cfg.routing_time_ns + 256.0
+        assert net.latency.min >= minimum - 1e-6
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10_000), scheme=st.sampled_from(["mlid", "slid"]))
+def test_lossless_drain_under_any_seed(seed, scheme):
+    """Credit flow control is lossless: stop generation and drain the
+    engine — every packet ever generated is received, none lost."""
+    net = build_subnet(4, 2, scheme, seed=seed)
+    net.attach_pattern(UniformPattern(net.num_nodes))
+    rate = net.cfg.offered_load_to_rate(0.4)
+    for node in net.endnodes:
+        node.start_generation(rate)
+    net.engine.run(until=10_000)
+    for node in net.endnodes:
+        node.stop_generation()
+    net.engine.run()  # drain completely
+    received = sum(nd.packets_received for nd in net.endnodes)
+    generated = sum(nd.packets_generated for nd in net.endnodes)
+    backlog = sum(nd.backlog for nd in net.endnodes)
+    assert backlog == 0
+    assert received == generated

@@ -1,0 +1,197 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+
+
+def test_initial_state():
+    eng = Engine()
+    assert eng.now == 0.0
+    assert eng.pending == 0
+    assert eng.events_processed == 0
+
+
+def test_single_event_fires_at_time():
+    eng = Engine()
+    fired = []
+    eng.schedule(10.0, lambda: fired.append(eng.now))
+    eng.run()
+    assert fired == [10.0]
+    assert eng.now == 10.0
+
+
+def test_events_fire_in_time_order():
+    eng = Engine()
+    order = []
+    eng.schedule(30.0, lambda: order.append(3))
+    eng.schedule(10.0, lambda: order.append(1))
+    eng.schedule(20.0, lambda: order.append(2))
+    eng.run()
+    assert order == [1, 2, 3]
+
+
+def test_same_time_events_fire_fifo():
+    eng = Engine()
+    order = []
+    for i in range(10):
+        eng.schedule(5.0, lambda i=i: order.append(i))
+    eng.run()
+    assert order == list(range(10))
+
+
+def test_schedule_after_uses_relative_delay():
+    eng = Engine()
+    times = []
+    def first():
+        times.append(eng.now)
+        eng.schedule_after(7.0, lambda: times.append(eng.now))
+    eng.schedule(3.0, first)
+    eng.run()
+    assert times == [3.0, 10.0]
+
+
+def test_schedule_in_past_raises():
+    eng = Engine()
+    eng.schedule(5.0, lambda: None)
+    eng.run()
+    with pytest.raises(SimulationError):
+        eng.schedule(4.0, lambda: None)
+
+
+def test_negative_delay_raises():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng.schedule_after(-1.0, lambda: None)
+
+
+def test_run_until_stops_before_later_events():
+    eng = Engine()
+    fired = []
+    eng.schedule(10.0, lambda: fired.append("a"))
+    eng.schedule(50.0, lambda: fired.append("b"))
+    eng.run(until=20.0)
+    assert fired == ["a"]
+    assert eng.now == 20.0
+    eng.run()
+    assert fired == ["a", "b"]
+
+
+def test_run_until_advances_clock_when_queue_empty():
+    eng = Engine()
+    eng.run(until=100.0)
+    assert eng.now == 100.0
+
+
+def test_run_until_boundary_event_fires():
+    eng = Engine()
+    fired = []
+    eng.schedule(20.0, lambda: fired.append(1))
+    eng.run(until=20.0)
+    assert fired == [1]
+
+
+def test_cancel_prevents_firing():
+    eng = Engine()
+    fired = []
+    ev = eng.schedule(10.0, lambda: fired.append(1))
+    ev.cancel()
+    eng.run()
+    assert fired == []
+    assert eng.events_processed == 0
+
+
+def test_cancel_is_idempotent():
+    eng = Engine()
+    ev = eng.schedule(10.0, lambda: None)
+    ev.cancel()
+    ev.cancel()
+    eng.run()
+
+
+def test_events_scheduled_during_run_fire():
+    eng = Engine()
+    fired = []
+    def chain(depth):
+        fired.append(eng.now)
+        if depth:
+            eng.schedule_after(1.0, lambda: chain(depth - 1))
+    eng.schedule(0.0, lambda: chain(3))
+    eng.run()
+    assert fired == [0.0, 1.0, 2.0, 3.0]
+
+
+def test_step_processes_one_event():
+    eng = Engine()
+    fired = []
+    eng.schedule(1.0, lambda: fired.append(1))
+    eng.schedule(2.0, lambda: fired.append(2))
+    assert eng.step() is True
+    assert fired == [1]
+    assert eng.step() is True
+    assert eng.step() is False
+    assert fired == [1, 2]
+
+
+def test_step_skips_cancelled():
+    eng = Engine()
+    fired = []
+    ev = eng.schedule(1.0, lambda: fired.append(1))
+    eng.schedule(2.0, lambda: fired.append(2))
+    ev.cancel()
+    assert eng.step() is True
+    assert fired == [2]
+
+
+def test_peek_time_skips_cancelled():
+    eng = Engine()
+    ev = eng.schedule(1.0, lambda: None)
+    eng.schedule(5.0, lambda: None)
+    assert eng.peek_time() == 1.0
+    ev.cancel()
+    assert eng.peek_time() == 5.0
+
+
+def test_peek_time_empty_queue():
+    assert Engine().peek_time() is None
+
+
+def test_events_processed_counts():
+    eng = Engine()
+    for t in range(5):
+        eng.schedule(float(t), lambda: None)
+    eng.run()
+    assert eng.events_processed == 5
+
+
+def test_reentrant_run_rejected():
+    eng = Engine()
+    def nested():
+        with pytest.raises(SimulationError):
+            eng.run()
+    eng.schedule(1.0, nested)
+    eng.run()
+
+
+def test_zero_time_self_scheduling_same_timestamp():
+    """An event may schedule another at the current time; it fires next."""
+    eng = Engine()
+    order = []
+    def a():
+        order.append("a")
+        eng.schedule(eng.now, lambda: order.append("b"))
+    eng.schedule(5.0, a)
+    eng.schedule(5.0, lambda: order.append("c"))
+    eng.run()
+    assert order == ["a", "c", "b"]  # FIFO among same-time events
+
+
+def test_exception_in_callback_propagates_and_engine_recovers():
+    eng = Engine()
+    eng.schedule(1.0, lambda: (_ for _ in ()).throw(ValueError("boom")))
+    eng.schedule(2.0, lambda: None)
+    with pytest.raises(ValueError):
+        eng.run()
+    # The failed event was consumed; the rest still runs.
+    eng.run()
+    assert eng.now == 2.0

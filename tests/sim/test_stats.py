@@ -1,0 +1,142 @@
+"""Unit tests for measurement collectors."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.stats import LatencyStats, ThroughputMeter, WarmupFilter
+
+
+class TestWarmupFilter:
+    def test_accepts_inside_window(self):
+        w = WarmupFilter(100.0, 200.0)
+        assert w.accepts(100.0)
+        assert w.accepts(150.0)
+        assert w.accepts(200.0)
+
+    def test_rejects_outside_window(self):
+        w = WarmupFilter(100.0, 200.0)
+        assert not w.accepts(99.9)
+        assert not w.accepts(200.1)
+
+    def test_window_length(self):
+        assert WarmupFilter(50.0, 150.0).window == 100.0
+
+    def test_inverted_window_raises(self):
+        with pytest.raises(ValueError):
+            WarmupFilter(200.0, 100.0)
+
+    def test_unbounded_end_accepts_everything_late(self):
+        w = WarmupFilter(10.0)
+        assert w.accepts(1e18)
+        assert not w.accepts(5.0)
+
+
+class TestLatencyStats:
+    def test_empty_stats_are_nan(self):
+        s = LatencyStats()
+        assert math.isnan(s.mean)
+        assert math.isnan(s.variance)
+        assert s.count == 0
+
+    def test_single_sample(self):
+        s = LatencyStats()
+        s.record(42.0)
+        assert s.mean == 42.0
+        assert s.min == 42.0
+        assert s.max == 42.0
+        assert math.isnan(s.variance)
+
+    def test_mean_matches_numpy(self):
+        xs = [3.0, 1.5, 9.0, 2.25, 7.75]
+        s = LatencyStats()
+        for x in xs:
+            s.record(x)
+        assert s.mean == pytest.approx(np.mean(xs))
+        assert s.variance == pytest.approx(np.var(xs, ddof=1))
+        assert s.stdev == pytest.approx(np.std(xs, ddof=1))
+
+    def test_min_max_tracking(self):
+        s = LatencyStats()
+        for x in [5.0, 1.0, 9.0, 3.0]:
+            s.record(x)
+        assert (s.min, s.max) == (1.0, 9.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyStats().record(-1.0)
+
+    def test_percentile_nearest_rank(self):
+        s = LatencyStats()
+        for x in range(1, 101):
+            s.record(float(x))
+        assert s.percentile(50) == 50.0
+        assert s.percentile(99) == 99.0
+        assert s.percentile(100) == 100.0
+        assert s.percentile(0) == 1.0
+
+    def test_percentile_out_of_range(self):
+        s = LatencyStats()
+        s.record(1.0)
+        with pytest.raises(ValueError):
+            s.percentile(101)
+
+    def test_percentile_without_samples_is_nan(self):
+        assert math.isnan(LatencyStats().percentile(50))
+
+    def test_percentile_disabled_raises(self):
+        s = LatencyStats(keep_samples=False)
+        s.record(1.0)
+        with pytest.raises(RuntimeError):
+            s.percentile(50)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e9), min_size=2, max_size=200))
+    def test_welford_matches_numpy_property(self, xs):
+        s = LatencyStats(keep_samples=False)
+        for x in xs:
+            s.record(x)
+        assert s.mean == pytest.approx(np.mean(xs), rel=1e-9, abs=1e-6)
+        assert s.variance == pytest.approx(np.var(xs, ddof=1), rel=1e-6, abs=1e-3)
+
+
+class TestThroughputMeter:
+    def test_records_only_inside_window(self):
+        m = ThroughputMeter(WarmupFilter(100.0, 200.0))
+        m.record(50.0, 256)
+        m.record(150.0, 256)
+        m.record(250.0, 256)
+        assert m.bytes_delivered == 256
+        assert m.packets_delivered == 1
+
+    def test_accepted_traffic_unit(self):
+        m = ThroughputMeter(WarmupFilter(0.0, 1000.0))
+        for t in range(10):
+            m.record(float(t * 100), 256)
+        # 2560 bytes over 1000 ns over 4 nodes.
+        assert m.accepted_traffic(4) == pytest.approx(2560 / 1000 / 4)
+
+    def test_accepted_traffic_requires_positive_nodes(self):
+        m = ThroughputMeter(WarmupFilter(0.0, 10.0))
+        with pytest.raises(ValueError):
+            m.accepted_traffic(0)
+
+    def test_unbounded_window_rejected_for_rate(self):
+        m = ThroughputMeter(WarmupFilter(0.0))
+        with pytest.raises(RuntimeError):
+            m.accepted_traffic(1)
+
+    def test_per_destination_histogram(self):
+        m = ThroughputMeter(WarmupFilter(0.0, 100.0))
+        m.record(1.0, 10, destination=3)
+        m.record(2.0, 10, destination=3)
+        m.record(3.0, 10, destination=5)
+        assert m.per_destination == {3: 2, 5: 1}
+
+    def test_per_destination_isolated_copy(self):
+        m = ThroughputMeter(WarmupFilter(0.0, 100.0))
+        m.record(1.0, 10, destination=1)
+        snapshot = m.per_destination
+        snapshot[1] = 999
+        assert m.per_destination == {1: 1}

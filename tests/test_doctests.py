@@ -1,0 +1,30 @@
+"""Run the doctest examples embedded in public docstrings.
+
+Keeps the documentation honest: every ``>>>`` example in the modules
+below is executed as part of the suite.
+"""
+
+import doctest
+
+import pytest
+
+import repro.core.addressing
+import repro.core.path_selection
+import repro.sim.engine
+import repro.sim.rng
+import repro.topology.fattree
+
+MODULES = [
+    repro.sim.engine,
+    repro.sim.rng,
+    repro.topology.fattree,
+    repro.core.addressing,
+    repro.core.path_selection,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} lost its examples"
+    assert results.failed == 0

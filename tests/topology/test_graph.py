@@ -1,0 +1,87 @@
+"""Tests for the networkx views of FT(m, n)."""
+
+import networkx as nx
+import pytest
+
+from repro.topology.fattree import FatTree
+from repro.topology.graph import bisection_links, diameter_hops, to_networkx
+
+MN = [(4, 2), (4, 3), (8, 2), (8, 3)]
+
+
+@pytest.mark.parametrize("m,n", MN)
+def test_vertex_counts(m, n):
+    ft = FatTree(m, n)
+    g = to_networkx(ft)
+    assert g.number_of_nodes() == ft.num_nodes + ft.num_switches
+
+
+@pytest.mark.parametrize("m,n", MN)
+def test_edge_count(m, n):
+    ft = FatTree(m, n)
+    g = to_networkx(ft)
+    switch_edges = (ft.num_switches * m - ft.num_nodes) // 2
+    assert g.number_of_edges() == ft.num_nodes + switch_edges
+
+
+@pytest.mark.parametrize("m,n", MN)
+def test_connected(m, n):
+    assert nx.is_connected(to_networkx(FatTree(m, n)))
+
+
+@pytest.mark.parametrize("m,n", MN)
+def test_node_vertices_have_degree_one(m, n):
+    ft = FatTree(m, n)
+    g = to_networkx(ft)
+    for p in ft.nodes:
+        assert g.degree(("node", p)) == 1
+
+
+@pytest.mark.parametrize("m,n", MN)
+def test_switch_vertices_have_degree_m(m, n):
+    ft = FatTree(m, n)
+    g = to_networkx(ft)
+    for (w, lvl) in ft.switches:
+        assert g.degree(("switch", w, lvl)) == m
+
+
+@pytest.mark.parametrize("m,n", MN)
+def test_diameter_closed_form(m, n):
+    """The farthest node pair is 2n links apart (up n, down n)."""
+    assert diameter_hops(FatTree(m, n)) == 2 * n
+
+
+@pytest.mark.parametrize("m,n", MN)
+def test_bisection_links_formula(m, n):
+    ft = FatTree(m, n)
+    assert bisection_links(ft) == (m // 2) ** n
+
+
+def test_bisection_is_actual_cut():
+    """Removing the counted links separates the two halves."""
+    ft = FatTree(4, 2)
+    g = to_networkx(ft)
+    half = ft.m // 2
+    # Every root-to-level-1 edge crossing the p0 < m/2 boundary.
+    cut = []
+    for (w, lvl) in ft.switches:
+        if lvl != 0:
+            continue
+        for k in ft.down_ports((w, lvl)):
+            ep = ft.peer((w, lvl), k)
+            child_top = ep.switch[0][0]
+            if child_top >= half * 1:  # child w0 in upper half iff >= m/2
+                if child_top >= ft.m // 2:
+                    cut.append((("switch", w, lvl), ("switch", *ep.switch)))
+    g.remove_edges_from(cut)
+    assert len(cut) == bisection_links(ft)
+    lower = ("node", ft.nodes[0])
+    upper = ("node", ft.nodes[-1])
+    assert not nx.has_path(g, lower, upper)
+
+
+def test_edge_port_annotations():
+    ft = FatTree(4, 2)
+    g = to_networkx(ft)
+    for u, v, data in g.edges(data=True):
+        assert "ports" in data and len(data["ports"]) == 2

@@ -1,0 +1,183 @@
+"""Tests for Definitions 1-4: gcp, lca, gcpg, rank, PID."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology import groups
+from repro.topology.labels import node_labels
+
+MN = [(4, 2), (4, 3), (8, 2), (8, 3), (16, 2)]
+
+
+def labels_of(m, n):
+    return list(node_labels(m, n))
+
+
+class TestCounts:
+    @pytest.mark.parametrize("m,n,nodes,switches", [
+        (4, 2, 8, 6),
+        (4, 3, 16, 20),
+        (8, 2, 32, 12),
+        (8, 3, 128, 80),
+        (16, 2, 128, 24),
+        (32, 2, 512, 48),
+    ])
+    def test_paper_formulas(self, m, n, nodes, switches):
+        assert groups.num_nodes(m, n) == nodes
+        assert groups.num_switches(m, n) == switches
+
+
+class TestGcp:
+    def test_paper_example(self):
+        """gcp(P(100), P(111)) = '1' (the paper's Section 3 example)."""
+        assert groups.gcp((1, 0, 0), (1, 1, 1)) == (1,)
+        assert groups.gcp_length((1, 0, 0), (1, 1, 1)) == 1
+
+    def test_no_common_prefix(self):
+        assert groups.gcp((0, 0, 0), (3, 0, 0)) == ()
+        assert groups.gcp_length((0, 0, 0), (3, 0, 0)) == 0
+
+    def test_identical_labels(self):
+        assert groups.gcp((1, 0, 1), (1, 0, 1)) == (1, 0, 1)
+
+    def test_symmetry(self):
+        a, b = (2, 1, 0), (2, 0, 1)
+        assert groups.gcp(a, b) == groups.gcp(b, a)
+
+    @given(st.sampled_from(labels_of(4, 3)), st.sampled_from(labels_of(4, 3)))
+    def test_gcp_is_prefix_of_both(self, a, b):
+        g = groups.gcp(a, b)
+        assert a[: len(g)] == g and b[: len(g)] == g
+        if len(g) < min(len(a), len(b)):
+            assert a[len(g)] != b[len(g)]
+
+
+class TestLca:
+    def test_paper_example(self):
+        """lca(P(100), P(111)) = {SW<10,1>, SW<11,1>}."""
+        got = set(groups.lca(4, 3, (1, 0, 0), (1, 1, 1)))
+        assert got == {((1, 0), 1), ((1, 1), 1)}
+
+    def test_alpha_zero_gives_all_roots(self):
+        got = set(groups.lca(4, 3, (0, 0, 0), (3, 0, 0)))
+        assert got == {((0, 0), 0), ((0, 1), 0), ((1, 0), 0), ((1, 1), 0)}
+
+    def test_same_leaf_switch_single_lca(self):
+        assert groups.lca(4, 3, (1, 0, 0), (1, 0, 1)) == [((1, 0), 2)]
+
+    def test_identical_nodes_raise(self):
+        with pytest.raises(ValueError):
+            groups.lca(4, 3, (1, 0, 0), (1, 0, 0))
+
+    @pytest.mark.parametrize("m,n", MN)
+    def test_lca_count_matches_paths(self, m, n):
+        labels = labels_of(m, n)
+        a, b = labels[0], labels[-1]
+        assert len(groups.lca(m, n, a, b)) == groups.paths_between(m, n, a, b)
+
+    def test_lca_levels_equal_alpha(self):
+        for b in [(1, 1, 1), (0, 1, 0), (0, 0, 1)]:
+            a = (0, 0, 0)
+            alpha = groups.gcp_length(a, b)
+            for _, lvl in groups.lca(4, 3, a, b):
+                assert lvl == alpha
+
+
+class TestGcpg:
+    def test_paper_example_membership(self):
+        """gcpg(1, 1) = {P(100), P(101), P(110), P(111)}."""
+        got = list(groups.gcpg(4, 3, (1,)))
+        assert got == [(1, 0, 0), (1, 0, 1), (1, 1, 0), (1, 1, 1)]
+
+    def test_empty_prefix_is_everything(self):
+        assert list(groups.gcpg(4, 2, ())) == labels_of(4, 2)
+
+    def test_full_prefix_is_singleton(self):
+        assert list(groups.gcpg(4, 3, (2, 1, 0))) == [(2, 1, 0)]
+
+    @pytest.mark.parametrize("m,n", MN)
+    def test_sizes_match_formula(self, m, n):
+        for alpha in range(n + 1):
+            prefix = tuple([0] * alpha)
+            assert len(list(groups.gcpg(m, n, prefix))) == groups.gcpg_size(
+                m, n, alpha
+            )
+
+    def test_invalid_prefix_digit(self):
+        with pytest.raises(ValueError):
+            list(groups.gcpg(4, 3, (4,)))
+        with pytest.raises(ValueError):
+            list(groups.gcpg(4, 3, (0, 3)))
+
+    def test_too_long_prefix(self):
+        with pytest.raises(ValueError):
+            list(groups.gcpg(4, 3, (0, 0, 0, 0)))
+
+    def test_gcpg_size_bad_alpha(self):
+        with pytest.raises(ValueError):
+            groups.gcpg_size(4, 3, 4)
+
+
+class TestRankAndPid:
+    def test_paper_rank_examples(self):
+        """Ranks of P(100) and P(111) in gcpg(1, 1) are 0 and 3."""
+        assert groups.rank_in_gcpg(4, 3, 1, (1, 0, 0)) == 0
+        assert groups.rank_in_gcpg(4, 3, 1, (1, 1, 1)) == 3
+
+    def test_paper_pid_examples(self):
+        """PID(P(100)) = 4 and PID(P(111)) = 7."""
+        assert groups.pid(4, 3, (1, 0, 0)) == 4
+        assert groups.pid(4, 3, (1, 1, 1)) == 7
+
+    @pytest.mark.parametrize("m,n", MN)
+    def test_pid_is_dense_and_ordered(self, m, n):
+        pids = [groups.pid(m, n, p) for p in labels_of(m, n)]
+        assert pids == list(range(groups.num_nodes(m, n)))
+
+    @pytest.mark.parametrize("m,n", MN)
+    def test_pid_roundtrip(self, m, n):
+        for p in labels_of(m, n):
+            assert groups.node_from_pid(m, n, groups.pid(m, n, p)) == p
+
+    def test_node_from_pid_range_check(self):
+        with pytest.raises(ValueError):
+            groups.node_from_pid(4, 3, 16)
+        with pytest.raises(ValueError):
+            groups.node_from_pid(4, 3, -1)
+
+    @pytest.mark.parametrize("m,n", MN)
+    def test_ranks_dense_within_group(self, m, n):
+        # For every alpha >= 1, the ranks within a group are 0..size-1.
+        for alpha in range(1, n + 1):
+            prefix = tuple([1] + [0] * (alpha - 1))
+            members = list(groups.gcpg(m, n, prefix))
+            ranks = sorted(groups.rank_in_gcpg(m, n, alpha, p) for p in members)
+            assert ranks == list(range(len(members)))
+
+    def test_rank_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            groups.rank_in_gcpg(4, 3, 4, (0, 0, 0))
+
+    @given(st.sampled_from(labels_of(8, 3)), st.integers(0, 3))
+    def test_rank_nonnegative_and_bounded(self, p, alpha):
+        r = groups.rank_in_gcpg(8, 3, alpha, p)
+        assert 0 <= r < groups.gcpg_size(8, 3, alpha)
+
+
+class TestPathsBetween:
+    def test_alpha_zero(self):
+        assert groups.paths_between(4, 3, (0, 0, 0), (1, 0, 0)) == 4
+
+    def test_alpha_one(self):
+        assert groups.paths_between(4, 3, (1, 0, 0), (1, 1, 0)) == 2
+
+    def test_same_leaf(self):
+        assert groups.paths_between(4, 3, (1, 0, 0), (1, 0, 1)) == 1
+
+    def test_same_node_raises(self):
+        with pytest.raises(ValueError):
+            groups.paths_between(4, 3, (0, 0, 0), (0, 0, 0))
+
+    def test_max_paths_formula(self):
+        """(m/2)^(n-1) paths between prefix-disjoint nodes."""
+        assert groups.paths_between(8, 3, (0, 0, 0), (7, 3, 3)) == 16

@@ -1,0 +1,148 @@
+"""Unit and property tests for the label algebra."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.topology.labels import (
+    check_arity,
+    format_node,
+    format_switch,
+    node_labels,
+    switch_labels,
+    validate_node_label,
+    validate_switch_label,
+)
+
+MN = [(4, 1), (4, 2), (4, 3), (8, 2), (8, 3), (16, 2)]
+
+
+class TestCheckArity:
+    @pytest.mark.parametrize("m", [4, 8, 16, 32, 64])
+    def test_powers_of_two_accepted(self, m):
+        check_arity(m, 2)
+
+    @pytest.mark.parametrize("m", [0, 1, 2, 3, 5, 6, 7, 12, 100])
+    def test_bad_m_rejected(self, m):
+        with pytest.raises(ValueError):
+            check_arity(m, 2)
+
+    def test_bad_n_rejected(self):
+        with pytest.raises(ValueError):
+            check_arity(4, 0)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(TypeError):
+            check_arity(4.0, 2)
+        with pytest.raises(TypeError):
+            check_arity(4, "2")
+
+
+class TestNodeLabels:
+    @pytest.mark.parametrize("m,n", MN)
+    def test_count_matches_formula(self, m, n):
+        assert len(list(node_labels(m, n))) == 2 * (m // 2) ** n
+
+    @pytest.mark.parametrize("m,n", MN)
+    def test_all_unique(self, m, n):
+        labels = list(node_labels(m, n))
+        assert len(set(labels)) == len(labels)
+
+    @pytest.mark.parametrize("m,n", MN)
+    def test_all_valid(self, m, n):
+        for p in node_labels(m, n):
+            validate_node_label(m, n, p)
+
+    def test_lexicographic_order(self):
+        labels = list(node_labels(4, 3))
+        assert labels == sorted(labels)
+
+    def test_paper_4port_3tree_set(self):
+        """The paper's Section 3 example: the 16 node labels of FT(4,3)."""
+        labels = set(node_labels(4, 3))
+        assert len(labels) == 16
+        assert (0, 0, 0) in labels
+        assert (3, 1, 1) in labels
+        assert (1, 0, 1) in labels
+        # First digit up to m-1 = 3; later digits < m/2 = 2.
+        assert (0, 2, 0) not in labels
+
+    def test_validate_wrong_length(self):
+        with pytest.raises(ValueError):
+            validate_node_label(4, 3, (0, 0))
+
+    def test_validate_digit_ranges(self):
+        validate_node_label(4, 3, (3, 1, 1))
+        with pytest.raises(ValueError):
+            validate_node_label(4, 3, (4, 0, 0))
+        with pytest.raises(ValueError):
+            validate_node_label(4, 3, (0, 2, 0))
+
+
+class TestSwitchLabels:
+    @pytest.mark.parametrize("m,n", MN)
+    def test_count_matches_formula(self, m, n):
+        assert len(list(switch_labels(m, n))) == (2 * n - 1) * (m // 2) ** (n - 1)
+
+    @pytest.mark.parametrize("m,n", MN)
+    def test_level_counts(self, m, n):
+        half = m // 2
+        assert len(list(switch_labels(m, n, 0))) == half ** (n - 1)
+        for level in range(1, n):
+            assert len(list(switch_labels(m, n, level))) == m * half ** max(
+                0, n - 2
+            )
+
+    def test_root_first_ordering(self):
+        levels = [lvl for _, lvl in switch_labels(4, 3)]
+        assert levels == sorted(levels)
+
+    def test_paper_4port_3tree_levels(self):
+        """Paper: level-0 set {SW<00,0> … SW<11,0>}, 8 switches at levels 1/2."""
+        roots = list(switch_labels(4, 3, 0))
+        assert roots == [((0, 0), 0), ((0, 1), 0), ((1, 0), 0), ((1, 1), 0)]
+        level1 = [w for w, _ in switch_labels(4, 3, 1)]
+        assert ((3, 1)) in level1 and (0, 0) in level1
+        assert len(level1) == 8
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError):
+            list(switch_labels(4, 3, 3))
+        with pytest.raises(ValueError):
+            list(switch_labels(4, 3, -1))
+
+    def test_validate_switch_label_root_digit_cap(self):
+        # Root switches cap w0 at m/2; deeper levels allow up to m-1.
+        validate_switch_label(4, 3, (1, 1), 0)
+        with pytest.raises(ValueError):
+            validate_switch_label(4, 3, (2, 0), 0)
+        validate_switch_label(4, 3, (3, 1), 1)
+
+    def test_validate_switch_label_length(self):
+        with pytest.raises(ValueError):
+            validate_switch_label(4, 3, (0,), 1)
+
+    def test_all_switch_labels_validate(self):
+        for w, lvl in switch_labels(8, 3):
+            validate_switch_label(8, 3, w, lvl)
+
+
+class TestFormatting:
+    def test_format_node(self):
+        assert format_node((3, 0, 1)) == "P(301)"
+
+    def test_format_switch(self):
+        assert format_switch((1, 0), 2) == "SW<10, 2>"
+
+    def test_format_empty_switch_word(self):
+        assert format_switch((), 0) == "SW<, 0>"
+
+
+@given(
+    mn=st.sampled_from(MN),
+    data=st.data(),
+)
+def test_every_generated_label_roundtrips_validation(mn, data):
+    m, n = mn
+    labels = list(node_labels(m, n))
+    p = data.draw(st.sampled_from(labels))
+    validate_node_label(m, n, p)

@@ -1,0 +1,40 @@
+"""Tests for the ASCII topology renderer."""
+
+import pytest
+
+from repro.topology.fattree import FatTree
+from repro.topology.render import render_fattree
+
+
+def test_small_tree_drawn_fully():
+    text = render_fattree(FatTree(4, 2))
+    assert "FT(4, 2)" in text
+    assert "SW<0, 0>" in text and "SW<3, 1>" in text
+    assert "P(00)" in text and "P(31)" in text
+    assert "(8 links)" in text
+
+
+def test_header_counts():
+    text = render_fattree(FatTree(4, 3))
+    assert "16 nodes" in text and "20 switches" in text and "height 4" in text
+
+
+def test_wide_tree_summarized():
+    text = render_fattree(FatTree(8, 3))
+    assert "level 0 (root): 16 switches" in text
+    assert "level 2 (leaf): 32 switches" in text
+    assert "4 per leaf switch" in text
+    assert "SW<" not in text  # no per-element drawing
+
+
+def test_max_cells_forces_drawing():
+    text = render_fattree(FatTree(8, 2), max_cells=32)
+    assert "SW<0, 0>" in text
+
+
+def test_link_marks_match_counts():
+    """The bar marks between two drawn rows equal the link count."""
+    text = render_fattree(FatTree(4, 2))
+    lines = text.splitlines()
+    marks_line = lines[2]
+    assert marks_line.count("|") == 8

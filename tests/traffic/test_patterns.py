@@ -1,0 +1,215 @@
+"""Tests for traffic patterns."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.traffic.patterns import (
+    BitComplementPattern,
+    BitReversalPattern,
+    CentricPattern,
+    PermutationPattern,
+    TransposePattern,
+    UniformPattern,
+    available_patterns,
+    make_pattern,
+)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestUniform:
+    def test_never_self(self):
+        pat = UniformPattern(8)
+        g = rng()
+        for pid in range(8):
+            choose = pat.chooser(pid)
+            for _ in range(200):
+                assert choose(g) != pid
+
+    def test_covers_all_destinations(self):
+        pat = UniformPattern(8)
+        choose = pat.chooser(3)
+        seen = {choose(rng(i)) for i in range(200)}
+        assert seen == set(range(8)) - {3}
+
+    def test_uniformity_chi_square(self):
+        """Each destination drawn with probability 1/(N-1)."""
+        from scipy import stats
+
+        pat = UniformPattern(16)
+        choose = pat.chooser(0)
+        g = rng(42)
+        draws = [choose(g) for _ in range(15_000)]
+        counts = np.bincount(draws, minlength=16)
+        assert counts[0] == 0
+        _, p = stats.chisquare(counts[1:])
+        assert p > 0.001
+
+    def test_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            UniformPattern(1)
+
+    def test_bad_pid_rejected(self):
+        with pytest.raises(ValueError):
+            UniformPattern(4).chooser(4)
+        with pytest.raises(ValueError):
+            UniformPattern(4).chooser(-1)
+
+    def test_callable_protocol(self):
+        pat = UniformPattern(4)
+        assert pat(0)(rng()) in {1, 2, 3}
+
+
+class TestCentric:
+    def test_hot_fraction_estimate(self):
+        pat = CentricPattern(32, hot_pid=0, fraction=0.5)
+        choose = pat.chooser(7)
+        g = rng(1)
+        draws = [choose(g) for _ in range(10_000)]
+        hot_share = draws.count(0) / len(draws)
+        # 0.5 directly + ~1/62 via the uniform branch.
+        assert hot_share == pytest.approx(0.5 + 0.5 / 31, abs=0.03)
+
+    def test_hot_node_itself_sends_uniform(self):
+        pat = CentricPattern(8, hot_pid=2, fraction=0.5)
+        choose = pat.chooser(2)
+        g = rng(3)
+        for _ in range(300):
+            assert choose(g) != 2
+
+    def test_never_self(self):
+        pat = CentricPattern(8, hot_pid=0, fraction=0.9)
+        for pid in range(8):
+            choose = pat.chooser(pid)
+            g = rng(pid)
+            for _ in range(200):
+                assert choose(g) != pid
+
+    def test_fraction_zero_is_uniform(self):
+        pat = CentricPattern(8, hot_pid=0, fraction=0.0)
+        choose = pat.chooser(1)
+        draws = {choose(rng(i)) for i in range(200)}
+        assert draws == set(range(8)) - {1}
+
+    def test_fraction_one_all_hot(self):
+        pat = CentricPattern(8, hot_pid=3, fraction=1.0)
+        choose = pat.chooser(0)
+        g = rng()
+        assert all(choose(g) == 3 for _ in range(50))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CentricPattern(8, hot_pid=8)
+        with pytest.raises(ValueError):
+            CentricPattern(8, fraction=1.5)
+
+
+class TestPermutation:
+    def test_is_derangement(self):
+        for seed in range(5):
+            pat = PermutationPattern(16, seed=seed)
+            assert sorted(pat.partner) == list(range(16))
+            assert all(pat.partner[i] != i for i in range(16))
+
+    def test_chooser_fixed(self):
+        pat = PermutationPattern(8, seed=1)
+        choose = pat.chooser(3)
+        g = rng()
+        assert len({choose(g) for _ in range(10)}) == 1
+
+    def test_seed_changes_permutation(self):
+        a = PermutationPattern(32, seed=1).partner
+        b = PermutationPattern(32, seed=2).partner
+        assert a != b
+
+
+class TestBitPatterns:
+    def test_bit_complement_formula(self):
+        pat = BitComplementPattern(8)
+        assert pat.partner[0b000] == 0b111
+        assert pat.partner[0b101] == 0b010
+
+    def test_bit_complement_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            BitComplementPattern(12)
+
+    def test_bit_complement_is_involution(self):
+        pat = BitComplementPattern(16)
+        for i in range(16):
+            assert pat.partner[pat.partner[i]] == i
+
+    def test_bit_reversal_formula(self):
+        pat = BitReversalPattern(8)
+        assert pat.partner[0b001] == 0b100
+        assert pat.partner[0b011] == 0b110
+
+    def test_bit_reversal_palindrome_fallback(self):
+        pat = BitReversalPattern(8)
+        # 0b101 reverses to itself -> cyclic fallback.
+        assert pat.partner[0b101] == 0b110
+
+    def test_bit_reversal_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            BitReversalPattern(24)
+
+
+class TestTranspose:
+    def test_formula(self):
+        pat = TransposePattern(16)  # 4x4
+        assert pat.partner[1] == 4  # (0,1) -> (1,0)
+        assert pat.partner[7] == 13  # (1,3) -> (3,1)
+
+    def test_diagonal_fallback(self):
+        pat = TransposePattern(16)
+        assert pat.partner[5] == 6  # (1,1) is diagonal -> pid+1
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            TransposePattern(8)
+
+
+class TestFactory:
+    def test_available(self):
+        assert set(available_patterns()) == {
+            "uniform",
+            "centric",
+            "permutation",
+            "bitcomplement",
+            "bitreversal",
+            "transpose",
+            "alltoall",
+            "recursivedoubling",
+            "ring",
+        }
+
+    def test_make_by_name(self):
+        assert isinstance(make_pattern("uniform", 8), UniformPattern)
+        assert isinstance(
+            make_pattern("centric", 8, hot_pid=1, fraction=0.2), CentricPattern
+        )
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_pattern("zipf", 8)
+
+
+@given(
+    num_nodes=st.sampled_from([4, 8, 16, 32]),
+    pid=st.integers(0, 3),
+    seed=st.integers(0, 100),
+)
+def test_no_pattern_ever_selects_self(num_nodes, pid, seed):
+    g = rng(seed)
+    for name in available_patterns():
+        kwargs = {}
+        if name == "transpose" and int(num_nodes**0.5) ** 2 != num_nodes:
+            continue
+        pat = make_pattern(name, num_nodes, **kwargs)
+        choose = pat.chooser(pid)
+        for _ in range(20):
+            dst = choose(g)
+            assert dst != pid
+            assert 0 <= dst < num_nodes
