@@ -1,0 +1,97 @@
+"""Sweep-executor throughput: serial vs artifact-cached vs parallel.
+
+Measures points/sec for one quick-grid ``run_figure`` (fig13, the
+8-port 2-tree headline figure; ``REPRO_BENCH_FULL=1`` selects its full
+grid) under three execution modes:
+
+* ``serial fresh`` — ``jobs=1, cache=False``: the historical behavior,
+  every point rebuilds FatTree + scheme + LFTs;
+* ``serial cached`` — ``jobs=1, cache=True``: the per-process
+  routing-artifact cache (the default everywhere now);
+* ``parallel cached`` — ``jobs=min(4, cpus)``: process-pool fan-out on
+  top of per-worker caches.
+
+All three modes must produce bit-identical curves — that determinism
+guarantee is asserted here on every run, so this benchmark doubles as
+an integration test of the executor.  The speedup column is relative
+to ``serial fresh``; on a multi-core host the parallel row is the
+headline number, on a single core it degrades to pool overhead and
+only the cache row shows a gain.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from multiprocessing import cpu_count
+
+from repro.experiments.configs import get_experiment
+from repro.experiments.report import render_table
+from repro.experiments.sweep import run_figure
+from repro.ib.artifacts import artifact_cache_info, clear_artifact_cache
+
+EXP_ID = "fig13"
+
+
+def measure():
+    config = get_experiment(EXP_ID)
+    quick = os.environ.get("REPRO_BENCH_FULL", "0") != "1"
+    loads = config.quick_loads if quick else config.loads
+    seeds = config.quick_seeds if quick else config.seeds
+    num_points = (
+        len(config.vl_counts) * len(config.schemes) * len(loads) * len(seeds)
+    )
+    jobs = min(4, cpu_count())
+    modes = [
+        ("serial fresh", dict(jobs=1, cache=False)),
+        ("serial cached", dict(jobs=1, cache=True)),
+        (f"parallel x{jobs} cached", dict(jobs=jobs, cache=True)),
+    ]
+    rows = []
+    curves = {}
+    cache_info = {}
+    for name, kwargs in modes:
+        clear_artifact_cache()
+        t0 = time.perf_counter()
+        curves[name] = run_figure(config, quick=quick, **kwargs).curves
+        elapsed = time.perf_counter() - t0
+        if name == "serial cached":
+            # Parallel mode fills per-worker caches, invisible here.
+            cache_info = artifact_cache_info()
+        rows.append(
+            {
+                "mode": name,
+                "points": num_points,
+                "seconds": elapsed,
+                "points/sec": num_points / elapsed,
+            }
+        )
+    baseline = rows[0]["seconds"]
+    for row in rows:
+        row["speedup"] = baseline / row["seconds"]
+    # Determinism guarantee: every mode reproduces the same curves.
+    reference = curves[modes[0][0]]
+    for name, _ in modes[1:]:
+        assert curves[name] == reference, f"{name} diverged from serial fresh"
+    return rows, cache_info, num_points
+
+
+def test_sweep_throughput(benchmark, save_result):
+    rows, cache_info, num_points = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    text = render_table(
+        rows,
+        title=(
+            f"sweep executor throughput — {EXP_ID}, {num_points} points "
+            f"({cpu_count()} cpus; parent cache after serial-cached run: "
+            f"{cache_info['hits']} hits / {cache_info['misses']} misses)"
+        ),
+    )
+    save_result("sweep_throughput", text)
+    # The cache must never hurt: allow timing noise but catch pathology.
+    serial, cached = rows[0], rows[1]
+    assert cached["seconds"] < serial["seconds"] * 1.25
+    # One artifact build per (scheme, VL) curve, the rest cache hits.
+    config = get_experiment(EXP_ID)
+    assert cache_info["misses"] == len(config.schemes) * len(config.vl_counts)

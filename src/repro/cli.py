@@ -10,8 +10,10 @@ Subcommands
     Trace the route between two nodes (labels as digit strings).
 ``verify M N [--scheme S]``
     Exhaustively verify a scheme's forwarding tables.
-``figure ID [--quick/--full] [--csv PATH]``
+``figure ID [--quick/--full] [--csv PATH] [--jobs N]``
     Regenerate one of the paper's figures (fig12 … fig19).
+``sweep M N [--scheme S] [--pattern P] [--loads L,L,…] [--jobs N]``
+    Run one offered-load sweep and print/export the points.
 ``draw M N``
     ASCII diagram of the fat-tree.
 ``probe M N [--scheme S] [--pattern P] [--load L]``
@@ -116,15 +118,71 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_float_list(text: str, what: str) -> List[float]:
+    try:
+        values = [float(tok) for tok in text.split(",") if tok.strip()]
+    except ValueError:
+        raise SystemExit(f"bad {what} list {text!r}; expected e.g. 0.1,0.3,0.7")
+    if not values:
+        raise SystemExit(f"{what} list {text!r} is empty")
+    return values
+
+
+def _jobs_arg(text: str) -> int:
+    try:
+        jobs = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if jobs < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {jobs}")
+    return jobs
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     config = get_experiment(args.id)
     if config.m == 0:
         raise SystemExit(f"{args.id} is not a simulated figure; see `repro-ibft list`")
     print(config.describe())
-    result = run_figure(config, quick=not args.full)
+    result = run_figure(config, quick=not args.full, jobs=args.jobs)
     print(render_figure_result(result))
     if args.csv:
         rows = [p.as_row() for pts in result.curves.values() for p in pts]
+        with open(args.csv, "w", encoding="utf-8") as fh:
+            fh.write(to_csv(rows))
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments import run_sweep
+    from repro.ib.config import SimConfig
+
+    loads = _parse_float_list(args.loads, "loads")
+    seeds = [int(s) for s in _parse_float_list(args.seeds, "seeds")]
+    points = run_sweep(
+        args.m,
+        args.n,
+        args.scheme,
+        args.pattern,
+        loads,
+        cfg=SimConfig(num_vls=args.vls),
+        warmup_ns=args.warmup,
+        measure_ns=args.measure,
+        seeds=seeds,
+        jobs=args.jobs,
+    )
+    rows = [p.as_row() for p in points]
+    print(
+        render_table(
+            rows,
+            title=(
+                f"{args.scheme.upper()} on FT({args.m},{args.n}), "
+                f"{args.pattern} traffic, {args.vls} VL(s), "
+                f"{len(seeds)} seed(s), jobs={args.jobs}"
+            ),
+        )
+    )
+    if args.csv:
         with open(args.csv, "w", encoding="utf-8") as fh:
             fh.write(to_csv(rows))
         print(f"wrote {args.csv}")
@@ -242,7 +300,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="full load grid and windows (slow; default is the quick grid)",
     )
     p.add_argument("--csv", help="also write the points to a CSV file")
+    p.add_argument(
+        "--jobs",
+        type=_jobs_arg,
+        default=1,
+        help="worker processes for the sweep points (default: 1, serial)",
+    )
     p.set_defaults(func=_cmd_figure)
+
+    p = sub.add_parser("sweep", help="run one offered-load sweep")
+    p.add_argument("m", type=int)
+    p.add_argument("n", type=int)
+    p.add_argument("--scheme", default="mlid")
+    p.add_argument("--pattern", default="uniform")
+    p.add_argument("--loads", default="0.1,0.3,0.7", help="comma-separated offered loads")
+    p.add_argument("--seeds", default="1", help="comma-separated seeds")
+    p.add_argument("--vls", type=int, default=1)
+    p.add_argument("--warmup", type=float, default=15_000.0, help="warmup window (ns)")
+    p.add_argument("--measure", type=float, default=45_000.0, help="measure window (ns)")
+    p.add_argument(
+        "--jobs",
+        type=_jobs_arg,
+        default=1,
+        help="worker processes for the sweep points (default: 1, serial)",
+    )
+    p.add_argument("--csv", help="also write the points to a CSV file")
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("draw", help="ASCII diagram of FT(m, n)")
     p.add_argument("m", type=int)

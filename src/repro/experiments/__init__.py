@@ -4,6 +4,9 @@
   table/figure (and per ablation), matching DESIGN.md's index;
 * :mod:`repro.experiments.runner` — runs a load sweep for one
   (topology, scheme, VL) combination and returns measurement rows;
+* :mod:`repro.experiments.parallel` — fans independent sweep points
+  out over a process pool with order-preserving, bit-identical
+  assembly (``jobs=N`` on ``run_sweep``/``run_figure``);
 * :mod:`repro.experiments.sweep` — full-figure orchestration (all
   schemes × VL counts), with saturation detection;
 * :mod:`repro.experiments.report` — renders results as aligned text
@@ -18,6 +21,7 @@ from repro.experiments.configs import (
     get_experiment,
     all_experiments,
 )
+from repro.experiments.parallel import PointSpec, execute_points
 from repro.experiments.runner import SweepPoint, run_point, run_sweep
 from repro.experiments.sweep import FigureResult, run_figure, saturation_throughput
 from repro.experiments.report import render_table, to_csv, render_figure_result
@@ -29,6 +33,8 @@ __all__ = [
     "ABLATIONS",
     "get_experiment",
     "all_experiments",
+    "PointSpec",
+    "execute_points",
     "SweepPoint",
     "run_point",
     "run_sweep",

@@ -1,10 +1,19 @@
 """Single-configuration sweep runner.
 
-``run_point`` builds a fresh subnet, attaches the traffic pattern and
+``run_point`` builds a subnet, attaches the traffic pattern and
 measures one offered-load point; ``run_sweep`` repeats it over a load
-grid and seed set, averaging replicas.  Every run uses a fresh subnet
-so points are statistically independent (the paper's methodology: one
-simulation run per generation rate).
+grid and seed set, averaging replicas.  Every run uses a fresh
+simulator (engine, switches, endnodes, RNG streams) so points are
+statistically independent (the paper's methodology: one simulation run
+per generation rate); the seed-independent routing artifacts (FatTree,
+scheme tables, LFTs) are reused through the per-process cache of
+:mod:`repro.ib.artifacts` unless ``cache=False``.
+
+``run_sweep(..., jobs=N)`` fans the independent points out over a
+process pool (:mod:`repro.experiments.parallel`); results are
+bit-for-bit identical to ``jobs=1`` because every point is a pure
+function of its spec and aggregation always happens here, in grid
+order.
 """
 
 from __future__ import annotations
@@ -13,11 +22,19 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro.experiments.parallel import PointSpec, execute_points
+from repro.ib.artifacts import get_artifacts
 from repro.ib.config import SimConfig
 from repro.ib.subnet import build_subnet
 from repro.traffic.patterns import make_pattern
 
-__all__ = ["SweepPoint", "run_point", "run_sweep"]
+__all__ = [
+    "SweepPoint",
+    "run_point",
+    "run_sweep",
+    "sweep_specs",
+    "aggregate_sweep",
+]
 
 
 @dataclass(frozen=True)
@@ -68,56 +85,84 @@ def run_point(
     warmup_ns: float = 30_000.0,
     measure_ns: float = 120_000.0,
     seed: int = 1,
+    cache: bool = True,
 ) -> dict:
-    """Measure one offered-load point on a fresh subnet."""
+    """Measure one offered-load point on a fresh simulator.
+
+    ``cache=True`` (default) reuses the seed-independent routing
+    artifacts via :func:`repro.ib.artifacts.get_artifacts`;
+    ``cache=False`` rebuilds everything from scratch.  Both paths
+    produce bit-identical measurements.
+    """
     cfg = cfg or SimConfig()
-    net = build_subnet(m, n, scheme, cfg, seed=seed)
+    artifacts = None
+    if cache and isinstance(scheme, str):
+        artifacts = get_artifacts(m, n, scheme, cfg)
+    net = build_subnet(m, n, scheme, cfg, seed=seed, artifacts=artifacts)
     net.attach_pattern(_build_pattern(pattern, net.num_nodes, hotspot_fraction))
     return net.run_measurement(offered, warmup_ns, measure_ns)
 
 
-def run_sweep(
+def sweep_specs(
     m: int,
     n: int,
     scheme: str,
     pattern: str,
     loads: Sequence[float],
     *,
-    cfg: Optional[SimConfig] = None,
+    cfg: SimConfig,
     hotspot_fraction: float = 0.5,
     warmup_ns: float = 30_000.0,
     measure_ns: float = 120_000.0,
     seeds: Sequence[int] = (1,),
+    cache: bool = True,
+) -> List[PointSpec]:
+    """The sweep's work items, load-major / seed-minor (grid order)."""
+    return [
+        PointSpec(
+            m=m,
+            n=n,
+            scheme=scheme,
+            pattern=pattern,
+            offered=offered,
+            cfg=cfg,
+            hotspot_fraction=hotspot_fraction,
+            warmup_ns=warmup_ns,
+            measure_ns=measure_ns,
+            seed=seed,
+            cache=cache,
+        )
+        for offered in loads
+        for seed in seeds
+    ]
+
+
+def aggregate_sweep(
+    scheme: str,
+    cfg: SimConfig,
+    loads: Sequence[float],
+    seeds: Sequence[int],
+    results: Sequence[dict],
 ) -> List[SweepPoint]:
-    """Sweep offered loads, averaging over seeds.
+    """Fold per-point measurements (grid order) into ``SweepPoint``s.
 
     Latency means are packet-count-weighted across replicas; the p99 is
-    the max across replicas (conservative).
+    the max across replicas (conservative).  The accumulation order is
+    exactly the historical serial loop's, so parallel and serial sweeps
+    aggregate identically.
     """
-    if not loads:
-        raise ValueError("need at least one load point")
-    if not seeds:
-        raise ValueError("need at least one seed")
-    cfg = cfg or SimConfig()
+    if len(results) != len(loads) * len(seeds):
+        raise ValueError(
+            f"expected {len(loads) * len(seeds)} results, got {len(results)}"
+        )
+    k = len(seeds)
     points: List[SweepPoint] = []
-    for offered in loads:
+    for i, offered in enumerate(loads):
         acc = 0.0
         lat_num = lat_tot_num = 0.0
         p99 = -math.inf
         packets = 0
-        for seed in seeds:
-            res = run_point(
-                m,
-                n,
-                scheme,
-                pattern,
-                offered,
-                cfg=cfg,
-                hotspot_fraction=hotspot_fraction,
-                warmup_ns=warmup_ns,
-                measure_ns=measure_ns,
-                seed=seed,
-            )
+        for res in results[i * k : (i + 1) * k]:
             acc += res["accepted"]
             got = res["packets"]
             if got and not math.isnan(res["latency_mean"]):
@@ -126,7 +171,6 @@ def run_sweep(
                 packets += got
             if not math.isnan(res["latency_p99"]):
                 p99 = max(p99, res["latency_p99"])
-        k = len(seeds)
         points.append(
             SweepPoint(
                 scheme=scheme,
@@ -141,3 +185,46 @@ def run_sweep(
             )
         )
     return points
+
+
+def run_sweep(
+    m: int,
+    n: int,
+    scheme: str,
+    pattern: str,
+    loads: Sequence[float],
+    *,
+    cfg: Optional[SimConfig] = None,
+    hotspot_fraction: float = 0.5,
+    warmup_ns: float = 30_000.0,
+    measure_ns: float = 120_000.0,
+    seeds: Sequence[int] = (1,),
+    jobs: Optional[int] = 1,
+    cache: bool = True,
+) -> List[SweepPoint]:
+    """Sweep offered loads, averaging over seeds.
+
+    ``jobs`` fans the independent (load, seed) points out over a
+    process pool; ``jobs=1`` (default) runs them inline.  The returned
+    points are bit-identical either way.
+    """
+    if not loads:
+        raise ValueError("need at least one load point")
+    if not seeds:
+        raise ValueError("need at least one seed")
+    cfg = cfg or SimConfig()
+    specs = sweep_specs(
+        m,
+        n,
+        scheme,
+        pattern,
+        loads,
+        cfg=cfg,
+        hotspot_fraction=hotspot_fraction,
+        warmup_ns=warmup_ns,
+        measure_ns=measure_ns,
+        seeds=seeds,
+        cache=cache,
+    )
+    results = execute_points(specs, jobs=jobs)
+    return aggregate_sweep(scheme, cfg, loads, seeds, results)

@@ -15,9 +15,18 @@ Event-driven models of every IBA mechanism the paper simulates:
 * endnodes — packet producers and consumers (:mod:`repro.ib.endnode`);
 * a Subnet Manager that discovers the topology, assigns LIDs per the
   routing scheme and programs every LFT (:mod:`repro.ib.sm`);
+* a per-process cache of the seed-independent routing artifacts —
+  FatTree + scheme + LFTs + DLID matrix (:mod:`repro.ib.artifacts`);
 * subnet assembly tying it all together (:mod:`repro.ib.subnet`).
 """
 
+from repro.ib.artifacts import (
+    RoutingArtifacts,
+    artifact_cache_info,
+    build_artifacts,
+    clear_artifact_cache,
+    get_artifacts,
+)
 from repro.ib.config import SimConfig
 from repro.ib.packet import Packet
 from repro.ib.lft import LinearForwardingTable
@@ -31,4 +40,9 @@ __all__ = [
     "Subnet",
     "build_subnet",
     "SubnetManager",
+    "RoutingArtifacts",
+    "artifact_cache_info",
+    "build_artifacts",
+    "get_artifacts",
+    "clear_artifact_cache",
 ]

@@ -1,0 +1,146 @@
+"""Routing-artifact cache for sweep execution.
+
+Every point of a paper figure rebuilds the same deterministic setup:
+the :class:`~repro.topology.fattree.FatTree` description, the routing
+scheme (MLID/SLID tables), the Subnet Manager's LFTs and the dense
+DLID path-selection matrix.  None of these depend on the seed or the
+offered load — only on ``(m, n, scheme, cfg)`` — so a sweep of S seeds
+× L loads pays the setup cost S·L times for one distinct answer.
+
+:func:`get_artifacts` memoizes that setup per process.  The cache key
+is ``(m, n, scheme-name, cfg)`` (``SimConfig`` is a frozen, hashable
+dataclass, so the full configuration participates in the key; the
+artifacts themselves currently depend only on the topology and scheme,
+but keying on the config keeps the cache trivially correct if a future
+config knob ever influences table construction).
+
+Everything cached is immutable after construction — ``FatTree``,
+scheme tables, :class:`~repro.ib.lft.LinearForwardingTable` entries
+and the (write-protected) DLID array — so one
+:class:`RoutingArtifacts` instance can be shared by any number of
+subnets, sequentially or concurrently.  Per-seed simulator state
+(engine, switches, endnodes, RNG streams) is *never* cached; see
+:func:`repro.ib.subnet.build_subnet`.
+
+Determinism guarantee: ``build_artifacts`` is a pure function of its
+key, and a subnet wired from cached artifacts is indistinguishable
+from a freshly built one, so cached runs are bit-for-bit identical to
+uncached runs (tested in ``tests/ib/test_artifacts.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.scheme import RoutingScheme, get_scheme
+from repro.ib.config import SimConfig
+from repro.ib.lft import LinearForwardingTable
+from repro.ib.sm import SubnetManager
+from repro.topology.fattree import FatTree
+from repro.topology.labels import SwitchLabel
+
+__all__ = [
+    "RoutingArtifacts",
+    "build_artifacts",
+    "get_artifacts",
+    "artifact_cache_info",
+    "clear_artifact_cache",
+]
+
+#: Cache key: (m, n, scheme name, full simulation config).
+ArtifactKey = Tuple[int, int, str, SimConfig]
+
+
+@dataclass(frozen=True)
+class RoutingArtifacts:
+    """The seed- and load-independent part of one subnet build."""
+
+    m: int
+    n: int
+    scheme_name: str
+    cfg: SimConfig
+    scheme: RoutingScheme
+    lfts: Dict[SwitchLabel, LinearForwardingTable] = field(repr=False)
+    #: Flattened (num_nodes * num_nodes) DLID matrix, write-protected.
+    dlid_flat: np.ndarray = field(repr=False)
+
+    @property
+    def ft(self) -> FatTree:
+        return self.scheme.ft
+
+    @property
+    def key(self) -> ArtifactKey:
+        return (self.m, self.n, self.scheme_name, self.cfg)
+
+
+def build_artifacts(
+    m: int, n: int, scheme: str, cfg: Optional[SimConfig] = None
+) -> RoutingArtifacts:
+    """Build the shareable routing artifacts for one configuration.
+
+    This is exactly the setup work :func:`~repro.ib.subnet.build_subnet`
+    performs on its fresh-build path: construct FT(m, n), instantiate
+    the scheme, run the Subnet Manager's full initialization (sweep
+    discovery, LID plan, LFT programming) and materialize the dense
+    DLID matrix.
+    """
+    cfg = cfg or SimConfig()
+    ft = FatTree(m, n)
+    scheme_obj = get_scheme(scheme, ft)
+    sm = SubnetManager(scheme_obj)
+    lfts = sm.configure()
+    dlid_flat = scheme_obj.dlid_matrix().reshape(-1)
+    dlid_flat.setflags(write=False)
+    return RoutingArtifacts(
+        m=m,
+        n=n,
+        scheme_name=scheme.lower(),
+        cfg=cfg,
+        scheme=scheme_obj,
+        lfts=lfts,
+        dlid_flat=dlid_flat,
+    )
+
+
+_lock = threading.Lock()
+_cache: Dict[ArtifactKey, RoutingArtifacts] = {}
+_hits = 0
+_misses = 0
+
+
+def get_artifacts(
+    m: int, n: int, scheme: str, cfg: Optional[SimConfig] = None
+) -> RoutingArtifacts:
+    """Cached :func:`build_artifacts` (per-process, thread-safe)."""
+    global _hits, _misses
+    cfg = cfg or SimConfig()
+    key: ArtifactKey = (m, n, scheme.lower(), cfg)
+    with _lock:
+        cached = _cache.get(key)
+        if cached is not None:
+            _hits += 1
+            return cached
+        _misses += 1
+    built = build_artifacts(m, n, scheme, cfg)
+    with _lock:
+        # Keep the first build if two threads raced; both are equal.
+        return _cache.setdefault(key, built)
+
+
+def artifact_cache_info() -> dict:
+    """Hit/miss/size counters of this process's artifact cache."""
+    with _lock:
+        return {"hits": _hits, "misses": _misses, "size": len(_cache)}
+
+
+def clear_artifact_cache() -> None:
+    """Drop every cached artifact and reset the counters."""
+    global _hits, _misses
+    with _lock:
+        _cache.clear()
+        _hits = 0
+        _misses = 0

@@ -59,6 +59,9 @@ class Transmitter:
         "packets_sent",
         "busy_time",
         "_last_start",
+        "_single_vl",
+        "_flying_ns",
+        "_byte_ns",
     )
 
     def __init__(self, engine: Engine, cfg: SimConfig, name: str = ""):
@@ -89,6 +92,10 @@ class Transmitter:
         self.packets_sent = 0
         self.busy_time = 0.0
         self._last_start = 0.0
+        # Hot-loop constants, hoisted out of the per-packet path.
+        self._single_vl = cfg.num_vls == 1 and self.arbiter is None
+        self._flying_ns = cfg.flying_time_ns
+        self._byte_ns = cfg.byte_time_ns
 
     # ------------------------------------------------------------------
     def connect(self, receiver: object) -> None:
@@ -114,23 +121,33 @@ class Transmitter:
         """Start a transmission if the wire is idle and some VL is ready."""
         if self._wire_busy:
             return
-        vl = self._pick_vl()
-        if vl < 0:
-            return
-        packet = self.buffers[vl].head()
-        if self.arbiter is not None:
-            self.arbiter.charge(vl, packet.size_bytes)
+        if self._single_vl:
+            # Fast path for the common 1-VL configuration: skip the
+            # round-robin scan (equivalent to _pick_vl with nvl == 1).
+            vl = 0
+            packet = self.buffers[0].head()
+            if packet is None or not self.credits[0].can_send():
+                return
+        else:
+            vl = self._pick_vl()
+            if vl < 0:
+                return
+            packet = self.buffers[vl].head()
+            if self.arbiter is not None:
+                self.arbiter.charge(vl, packet.size_bytes)
         self.credits[vl].consume()
         self._wire_busy = True
-        self._last_start = self.engine.now
+        engine = self.engine
+        now = engine.now
+        self._last_start = now
         if packet.t_injected < 0:
-            packet.t_injected = self.engine.now
+            packet.t_injected = now
         receiver = self.receiver
-        self.engine.schedule_after(
-            self.cfg.flying_time_ns, lambda: receiver.receive(packet)
+        engine.schedule_after(
+            self._flying_ns, lambda: receiver.receive(packet)
         )
-        self.engine.schedule_after(
-            packet.size_bytes * self.cfg.byte_time_ns,
+        engine.schedule_after(
+            packet.size_bytes * self._byte_ns,
             lambda: self._tx_done(vl),
         )
 

@@ -18,6 +18,7 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro.core.scheme import RoutingScheme, get_scheme
+from repro.ib.artifacts import RoutingArtifacts
 from repro.ib.config import SimConfig
 from repro.ib.endnode import Endnode
 from repro.ib.sm import SubnetManager
@@ -42,6 +43,7 @@ class Subnet:
         engine: Engine,
         switches: Dict[SwitchLabel, SwitchModel],
         endnodes: List[Endnode],
+        dlid_flat: Optional[np.ndarray] = None,
     ):
         self.ft = ft
         self.scheme = scheme
@@ -51,8 +53,11 @@ class Subnet:
         self.endnodes = endnodes
         self.latency: Optional[LatencyStats] = None
         self.throughput: Optional[ThroughputMeter] = None
-        # Dense DLID matrix (vectorized per scheme where possible).
-        self._dlid = scheme.dlid_matrix().reshape(-1)
+        # Dense DLID matrix (vectorized per scheme where possible);
+        # cached builds pass the precomputed flattened matrix in.
+        if dlid_flat is None:
+            dlid_flat = scheme.dlid_matrix().reshape(-1)
+        self._dlid = dlid_flat
         for node in endnodes:
             node.dlid_for = self.dlid_for
 
@@ -150,6 +155,7 @@ def build_subnet(
     scheme: str | RoutingScheme = "mlid",
     cfg: Optional[SimConfig] = None,
     seed: int = 0,
+    artifacts: Optional[RoutingArtifacts] = None,
 ) -> Subnet:
     """Construct and wire a complete IBFT(m, n) subnet.
 
@@ -163,22 +169,47 @@ def build_subnet(
         Simulation constants; defaults to the paper's.
     seed:
         Root seed for all per-node random streams.
+    artifacts:
+        Prebuilt seed-independent routing artifacts (see
+        :mod:`repro.ib.artifacts`).  When given, the FatTree, scheme,
+        LFTs and DLID matrix are reused instead of rebuilt — the
+        resulting subnet is bit-for-bit identical to a fresh build.
+        All per-seed state (engine, switches, endnodes, RNG streams)
+        is still constructed fresh.
     """
     cfg = cfg or SimConfig()
-    ft = FatTree(m, n)
-    if isinstance(scheme, str):
-        scheme_obj = get_scheme(scheme, ft)
+    dlid_flat: Optional[np.ndarray] = None
+    if artifacts is not None:
+        if artifacts.m != m or artifacts.n != n:
+            raise ValueError(
+                f"artifacts were built for FT({artifacts.m}, {artifacts.n}), "
+                f"requested FT({m}, {n})"
+            )
+        if isinstance(scheme, str) and artifacts.scheme_name != scheme.lower():
+            raise ValueError(
+                f"artifacts were built for scheme {artifacts.scheme_name!r}, "
+                f"requested {scheme!r}"
+            )
+        ft = artifacts.ft
+        scheme_obj = artifacts.scheme
+        lfts = artifacts.lfts
+        dlid_flat = artifacts.dlid_flat
+        engine = Engine()
     else:
-        scheme_obj = scheme
-        if scheme_obj.ft is not ft and (
-            scheme_obj.ft.m != m or scheme_obj.ft.n != n
-        ):
-            raise ValueError("scheme was built for a different FT(m, n)")
-        ft = scheme_obj.ft
+        ft = FatTree(m, n)
+        if isinstance(scheme, str):
+            scheme_obj = get_scheme(scheme, ft)
+        else:
+            scheme_obj = scheme
+            if scheme_obj.ft is not ft and (
+                scheme_obj.ft.m != m or scheme_obj.ft.n != n
+            ):
+                raise ValueError("scheme was built for a different FT(m, n)")
+            ft = scheme_obj.ft
 
-    engine = Engine()
-    sm = SubnetManager(scheme_obj)
-    lfts = sm.configure()
+        engine = Engine()
+        sm = SubnetManager(scheme_obj)
+        lfts = sm.configure()
 
     switches: Dict[SwitchLabel, SwitchModel] = {}
     for sw in ft.switches:
@@ -216,4 +247,6 @@ def build_subnet(
                 model.tx[phys].connect(peer_model.rx[peer_phys])
                 peer_model.rx[peer_phys].upstream = model.tx[phys]
 
-    return Subnet(ft, scheme_obj, cfg, engine, switches, endnodes)
+    return Subnet(
+        ft, scheme_obj, cfg, engine, switches, endnodes, dlid_flat=dlid_flat
+    )

@@ -80,7 +80,17 @@ class RoutingEngine:
 class InputUnit:
     """Receiving side of one switch port: per-VL buffers + routing."""
 
-    __slots__ = ("engine", "cfg", "switch", "port", "buffers", "upstream", "_routing")
+    __slots__ = (
+        "engine",
+        "cfg",
+        "switch",
+        "port",
+        "buffers",
+        "upstream",
+        "_routing",
+        "_flying_ns",
+        "_record_routes",
+    )
 
     def __init__(self, engine: Engine, cfg: SimConfig, switch: "SwitchModel", port: int):
         self.engine = engine
@@ -94,6 +104,9 @@ class InputUnit:
         # Is the head of each VL currently inside the routing pipeline
         # or blocked on an output buffer?  Prevents double-routing.
         self._routing: List[bool] = [False] * cfg.num_vls
+        # Hot-loop constants, hoisted out of the per-packet path.
+        self._flying_ns = cfg.flying_time_ns
+        self._record_routes = cfg.record_routes
 
     def receive(self, packet: Packet) -> None:
         """Header arrival from the wire."""
@@ -123,9 +136,10 @@ class InputUnit:
 
     def _move(self, vl: int, tx: Transmitter) -> None:
         """Crossbar transfer: input slot frees, credit returns upstream."""
-        packet = self.buffers[vl].pop()
+        buffer = self.buffers[vl]
+        packet = buffer.pop()
         packet.hops += 1
-        if self.cfg.record_routes:
+        if self._record_routes:
             if packet.route is None:
                 packet.route = []
             packet.route.append(self.switch.name)
@@ -133,11 +147,11 @@ class InputUnit:
         upstream = self.upstream
         if upstream is not None:
             self.engine.schedule_after(
-                self.cfg.flying_time_ns, lambda: upstream.credit_return(vl)
+                self._flying_ns, lambda: upstream.credit_return(vl)
             )
         tx.accept(packet)
         # Route the next packet of this VL, if any.
-        if self.buffers[vl].head() is not None:
+        if buffer.head() is not None:
             self._start_routing(vl)
 
 

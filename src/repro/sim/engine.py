@@ -103,7 +103,14 @@ class Engine:
         """Schedule ``callback`` to fire ``delay`` ns after the current time."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self.schedule(self.now + delay, callback, label)
+        # Inlined schedule(): a non-negative delay can never land in the
+        # past, so the past-check is skipped.  This is the simulator's
+        # single hottest entry point (one call per packet event).
+        time = self.now + delay
+        ev = Event(time, callback, label)
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, ev))
+        return ev
 
     # ------------------------------------------------------------------
     # Execution
@@ -114,26 +121,49 @@ class Engine:
         Stops when the queue is empty, or — if ``until`` is given — when
         the next event is strictly later than ``until`` (in which case
         ``now`` is advanced to ``until``).
+
+        Raises :class:`SimulationError` if ``until`` lies in the past:
+        the clock never runs backward.
+
+        ``events_processed`` is updated once on return, not per event
+        (hot-loop optimization) — callbacks must not read it mid-run.
         """
         if self._running:
             raise SimulationError("engine is already running (re-entrant run())")
+        if until is not None and until < self.now:
+            raise SimulationError(
+                f"cannot run until t={until}, before now={self.now}"
+            )
         self._running = True
+        # Hot loop: everything it touches is bound to locals, and the
+        # per-event counter increment is batched into one store at exit.
         heap = self._heap
+        pop = heapq.heappop
+        processed = 0
         try:
-            while heap:
-                time, _seq, ev = heap[0]
-                if until is not None and time > until:
+            if until is None:
+                while heap:
+                    time, _seq, ev = pop(heap)
+                    if ev.cancelled:
+                        continue
+                    self.now = time
+                    processed += 1
+                    ev.callback()
+            else:
+                while heap:
+                    time = heap[0][0]
+                    if time > until:
+                        break
+                    _time, _seq, ev = pop(heap)
+                    if ev.cancelled:
+                        continue
+                    self.now = time
+                    processed += 1
+                    ev.callback()
+                if until > self.now:
                     self.now = until
-                    return
-                heapq.heappop(heap)
-                if ev.cancelled:
-                    continue
-                self.now = time
-                self._events_processed += 1
-                ev.callback()
-            if until is not None and until > self.now:
-                self.now = until
         finally:
+            self._events_processed += processed
             self._running = False
 
     def step(self) -> bool:

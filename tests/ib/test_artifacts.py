@@ -1,0 +1,93 @@
+"""Correctness of the routing-artifact cache."""
+
+import numpy as np
+import pytest
+
+from repro.ib.artifacts import (
+    artifact_cache_info,
+    build_artifacts,
+    clear_artifact_cache,
+    get_artifacts,
+)
+from repro.ib.config import SimConfig
+from repro.ib.subnet import build_subnet
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_artifact_cache()
+    yield
+    clear_artifact_cache()
+
+
+def test_cached_build_equals_fresh_build():
+    """A cached scheme/LFT build must equal a from-scratch one."""
+    cfg = SimConfig()
+    cached = get_artifacts(4, 2, "mlid", cfg)
+    fresh = build_artifacts(4, 2, "mlid", cfg)
+    assert cached.lfts.keys() == fresh.lfts.keys()
+    for sw in cached.lfts:
+        assert cached.lfts[sw] == fresh.lfts[sw]
+    assert np.array_equal(cached.dlid_flat, fresh.dlid_flat)
+    assert cached.scheme.name == fresh.scheme.name
+    assert cached.scheme.lmc == fresh.scheme.lmc
+
+
+def test_cache_hits_and_key_sensitivity():
+    cfg = SimConfig()
+    a = get_artifacts(4, 2, "mlid", cfg)
+    b = get_artifacts(4, 2, "mlid", cfg)
+    assert a is b
+    info = artifact_cache_info()
+    assert info["hits"] == 1 and info["misses"] == 1 and info["size"] == 1
+    # Any key component change misses: scheme, topology, config.
+    assert get_artifacts(4, 2, "slid", cfg) is not a
+    assert get_artifacts(8, 2, "mlid", cfg) is not a
+    assert get_artifacts(4, 2, "mlid", cfg.with_vls(2)) is not a
+    assert artifact_cache_info()["size"] == 4
+    # Scheme names are case-normalized.
+    assert get_artifacts(4, 2, "MLID", cfg) is a
+
+
+def test_subnet_from_artifacts_matches_fresh_subnet():
+    cfg = SimConfig()
+    artifacts = get_artifacts(4, 2, "mlid", cfg)
+    cached_net = build_subnet(4, 2, "mlid", cfg, seed=3, artifacts=artifacts)
+    fresh_net = build_subnet(4, 2, "mlid", cfg, seed=3)
+    assert cached_net.num_nodes == fresh_net.num_nodes
+    for sw, model in cached_net.switches.items():
+        assert model.lft == fresh_net.switches[sw].lft
+    for s in range(cached_net.num_nodes):
+        for d in range(cached_net.num_nodes):
+            if s != d:
+                assert cached_net.dlid_for(s, d) == fresh_net.dlid_for(s, d)
+
+
+def test_cached_measurement_bit_identical_to_fresh():
+    """End to end: identical per-seed RNG streams and results."""
+    from repro.experiments.runner import run_point
+
+    fresh = run_point(
+        4, 2, "slid", "uniform", 0.2,
+        warmup_ns=2_000.0, measure_ns=10_000.0, seed=7, cache=False,
+    )
+    cached = run_point(
+        4, 2, "slid", "uniform", 0.2,
+        warmup_ns=2_000.0, measure_ns=10_000.0, seed=7, cache=True,
+    )
+    assert fresh == cached
+
+
+def test_artifacts_validated_against_request():
+    cfg = SimConfig()
+    artifacts = get_artifacts(4, 2, "mlid", cfg)
+    with pytest.raises(ValueError):
+        build_subnet(8, 2, "mlid", cfg, artifacts=artifacts)
+    with pytest.raises(ValueError):
+        build_subnet(4, 2, "slid", cfg, artifacts=artifacts)
+
+
+def test_dlid_matrix_is_write_protected():
+    artifacts = get_artifacts(4, 2, "mlid", SimConfig())
+    with pytest.raises(ValueError):
+        artifacts.dlid_flat[0] = 99

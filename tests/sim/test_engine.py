@@ -91,6 +91,30 @@ def test_run_until_boundary_event_fires():
     assert fired == [1]
 
 
+def test_run_until_in_past_raises_instead_of_rewinding():
+    """Regression: run(until < now) used to silently rewind the clock."""
+    eng = Engine()
+    eng.schedule(10.0, lambda: None)
+    eng.run(until=50.0)
+    assert eng.now == 50.0
+    with pytest.raises(SimulationError):
+        eng.run(until=20.0)
+    assert eng.now == 50.0  # clock untouched
+    # A past `until` is rejected even with events still pending.
+    eng.schedule(80.0, lambda: None)
+    with pytest.raises(SimulationError):
+        eng.run(until=49.0)
+    assert eng.now == 50.0
+    assert eng.pending == 1
+
+
+def test_run_until_now_is_a_noop():
+    eng = Engine()
+    eng.run(until=30.0)
+    eng.run(until=30.0)  # boundary: until == now is allowed
+    assert eng.now == 30.0
+
+
 def test_cancel_prevents_firing():
     eng = Engine()
     fired = []

@@ -135,6 +135,74 @@ def test_figure_unknown_id():
         main(["figure", "fig99"])
 
 
+def test_figure_jobs_flag(monkeypatch, capsys):
+    """--jobs plumbs through to the parallel executor unchanged."""
+    from repro.experiments import configs
+
+    tiny = configs.ExperimentConfig(
+        id="figjobs",
+        title="tiny parallel figure",
+        m=4,
+        n=2,
+        pattern="uniform",
+        vl_counts=(1,),
+        quick_loads=(0.1, 0.3),
+        quick_warmup_ns=1_000.0,
+        quick_measure_ns=6_000.0,
+        quick_seeds=(1,),
+    )
+    monkeypatch.setitem(configs.FIGURES, "figjobs", tiny)
+    assert main(["figure", "figjobs", "--jobs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "saturation throughput" in out
+
+
+def test_sweep_command(capsys, tmp_path):
+    csv_path = tmp_path / "sweep.csv"
+    assert (
+        main(
+            [
+                "sweep", "4", "2",
+                "--scheme", "mlid",
+                "--loads", "0.1,0.3",
+                "--seeds", "1,2",
+                "--warmup", "1000",
+                "--measure", "6000",
+                "--csv", str(csv_path),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "MLID on FT(4,2)" in out
+    assert "offered" in out and "accepted" in out
+    text = csv_path.read_text()
+    assert text.startswith("scheme,")
+    assert text.count("\n") >= 2  # header + one row per load
+
+
+def test_sweep_command_parallel_matches_serial(capsys):
+    args = [
+        "sweep", "4", "2",
+        "--loads", "0.1",
+        "--warmup", "1000",
+        "--measure", "6000",
+    ]
+    assert main(args) == 0
+    serial_out = capsys.readouterr().out
+    assert main(args + ["--jobs", "2"]) == 0
+    parallel_out = capsys.readouterr().out
+    # Identical measurement rows (title differs only in jobs=N).
+    assert serial_out.splitlines()[1:] == parallel_out.splitlines()[1:]
+
+
+def test_sweep_bad_loads_rejected():
+    with pytest.raises(SystemExit):
+        main(["sweep", "4", "2", "--loads", "abc"])
+    with pytest.raises(SystemExit):
+        main(["sweep", "4", "2", "--loads", ","])
+
+
 def test_draw(capsys):
     assert main(["draw", "4", "2"]) == 0
     out = capsys.readouterr().out
