@@ -78,7 +78,7 @@ def main() -> None:
     slid_max = max(r["accepted"] for r in rows if r["scheme"] == "slid")
     mlid_max = max(r["accepted"] for r in rows if r["scheme"] == "mlid")
     print(f"peak delivered: SLID {slid_max:.3f}, MLID {mlid_max:.3f} "
-          f"bytes/ns/node -> provision with "
+          "bytes/ns/node -> provision with "
           f"{'MLID' if mlid_max >= slid_max else 'SLID'}")
 
 

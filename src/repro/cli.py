@@ -8,8 +8,9 @@ Subcommands
     Regenerate the paper's Table 1 (network sizes).
 ``trace M N SRC DST [--scheme S]``
     Trace the route between two nodes (labels as digit strings).
-``verify M N [--scheme S]``
-    Exhaustively verify a scheme's forwarding tables.
+``verify M N [--scheme S] [--scalar]``
+    Exhaustively verify a scheme's forwarding tables (vectorized route
+    kernel by default; ``--scalar`` forces the per-hop tracer).
 ``figure ID [--quick/--full] [--csv PATH] [--jobs N]``
     Regenerate one of the paper's figures (fig12 … fig19).
 ``sweep M N [--scheme S] [--pattern P] [--loads L,L,…] [--jobs N]``
@@ -108,13 +109,20 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
+    import time
+
     ft = FatTree(args.m, args.n)
     scheme = get_scheme(args.scheme, ft)
-    checked = verify_scheme(scheme)
+    start = time.perf_counter()
+    checked = verify_scheme(scheme, use_kernel=not args.scalar)
+    elapsed = time.perf_counter() - start
     print(
         f"{args.scheme.upper()} on FT({args.m}, {args.n}): "
         f"{checked} routes verified (delivery, minimality, up*/down*)"
     )
+    engine = "scalar tracer" if args.scalar else "route kernel"
+    rate = checked / elapsed if elapsed > 0 else float("inf")
+    print(f"  engine: {engine}, {elapsed:.3f} s ({rate:,.0f} paths/s)")
     return 0
 
 
@@ -289,7 +297,16 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("verify", help="verify a scheme's forwarding tables")
     p.add_argument("m", type=int)
     p.add_argument("n", type=int)
-    p.add_argument("--scheme", default="mlid", choices=["mlid", "slid"])
+    p.add_argument(
+        "--scheme",
+        default="mlid",
+        choices=["mlid", "slid", "mlid-hash", "mlid-stagger"],
+    )
+    p.add_argument(
+        "--scalar",
+        action="store_true",
+        help="force the scalar per-hop tracer (default: vectorized kernel)",
+    )
     p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser("figure", help="regenerate a paper figure")

@@ -24,6 +24,7 @@ from repro.core.extensions import HashedMlidScheme, DestStaggeredMlidScheme
 from repro.core.fault import FaultSet, FaultTolerantTables, DisconnectedError
 from repro.core.updown import UpDownScheme
 from repro.core.scheme import RoutingScheme, get_scheme, available_schemes
+from repro.core.kernel import RouteKernel, compile_kernel
 from repro.core.verification import (
     PathTrace,
     RoutingError,
@@ -50,6 +51,8 @@ __all__ = [
     "RoutingScheme",
     "get_scheme",
     "available_schemes",
+    "RouteKernel",
+    "compile_kernel",
     "PathTrace",
     "RoutingError",
     "trace_path",

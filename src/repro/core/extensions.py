@@ -29,9 +29,11 @@ all selection policies.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.forwarding import MlidScheme
 from repro.core.path_selection import path_offset
-from repro.core.scheme import register_scheme
+from repro.core.scheme import RoutingScheme, register_scheme
 from repro.topology import groups
 from repro.topology.labels import NodeLabel, validate_node_label
 
@@ -68,6 +70,12 @@ class HashedMlidScheme(MlidScheme):
         key = groups.pid(m, n, src) * self.ft.num_nodes + groups.pid(m, n, dst)
         return self.base_lid(dst) + _splitmix(key) % paths
 
+    def dlid_matrix(self) -> np.ndarray:
+        # MlidScheme's vectorized matrix encodes the paper's rank
+        # selection, not this hash — fall back to the per-pair loop so
+        # the dense matrix agrees with ``dlid``.
+        return RoutingScheme.dlid_matrix(self)
+
 
 class DestStaggeredMlidScheme(MlidScheme):
     """MLID with a destination-rank stagger on top of the paper's rank.
@@ -90,6 +98,11 @@ class DestStaggeredMlidScheme(MlidScheme):
         else:
             stagger = groups.rank_in_gcpg(m, n, alpha + 1, dst) % paths
         return self.base_lid(dst) + (base_offset + stagger) % paths
+
+    def dlid_matrix(self) -> np.ndarray:
+        # See HashedMlidScheme.dlid_matrix: the inherited vectorized
+        # matrix would drop the stagger term.
+        return RoutingScheme.dlid_matrix(self)
 
 
 register_scheme("mlid-hash", HashedMlidScheme)

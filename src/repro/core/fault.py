@@ -305,7 +305,7 @@ class FaultTolerantTables:
             port = self.output_port(current, dlid)
             if not self._alive(current, port):
                 raise RuntimeError(
-                    f"repaired route crosses failed link at "
+                    "repaired route crosses failed link at "
                     f"{format_switch(*current)} port {port}"
                 )
             ep = ft.peer(current, port)

@@ -1,0 +1,530 @@
+"""Vectorized route kernel: whole-fabric static analysis in numpy.
+
+The scalar tracer (:func:`repro.core.verification.trace_path`) walks
+one Python hop at a time per (src, dst, DLID) triple — O(nodes² × LIDs
+× hops) interpreter work, which makes FT(16, 2)+ verification and the
+Table-1 / 32-port ablations the slowest static analyses in the repo.
+This module compiles a :class:`~repro.core.scheme.RoutingScheme` into
+dense arrays and traces **every** route of the fabric simultaneously:
+
+* ``port`` — the ``(num_switches, num_lids)`` next-hop port matrix,
+  lifted straight from the forwarding tables (0-based paper ports);
+* ``peer_switch`` / ``peer_node`` — the switch adjacency as integer
+  indices (``peer_switch[s, k]`` is the switch reached from switch
+  ``s`` out of port ``k``, or -1 when the port attaches a node, in
+  which case ``peer_node[s, k]`` holds the node index);
+* ``lid_owner`` / ``attach_leaf`` — LID → node and node → leaf-switch
+  index vectors.
+
+A route is a pure function of ``(leaf switch of src, DLID)`` — every
+source on one leaf follows the same switch sequence for a given DLID —
+so the kernel traces the ``(num_leaves, num_lids)`` route tensor once
+with at most ``2n + 2`` vectorized hop steps (the scalar tracer's loop
+bound) and answers every static query by array indexing: delivery,
+minimality and up*/down* verification, LCA-usage histograms,
+all-to-one link loads, and channel-dependency-graph edge extraction.
+
+**Scalar-oracle guarantee.**  The scalar tracer remains the oracle:
+whenever the kernel flags a route as invalid it *replays that route
+through the scalar path* (``trace_path`` plus the scalar minimality /
+up*/down* checks) so the exception raised is exactly the scalar one,
+and the equivalence of all kernel outputs with the scalar tracer is
+asserted in ``tests/core/test_kernel.py``.  Prefer ``trace_path`` for
+one-off interactive traces (no compilation cost) and the kernel for
+anything that touches a whole fabric.
+
+Consistency contract: ``build_tables``/``dlid_matrix`` vectorizations
+must agree with ``output_port``/``dlid``.  Subclasses that override
+the scalar method without the matching vectorized method (common in
+tests that corrupt one table entry) are detected via the MRO and fall
+back to the generic scalar-backed construction, so the corruption
+stays visible to the kernel.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.scheme import RoutingScheme
+from repro.topology.labels import NodeLabel, SwitchLabel
+
+__all__ = ["RouteKernel", "compile_kernel"]
+
+
+def _defining_class(cls: type, name: str) -> type:
+    """The class in ``cls``'s MRO that provides attribute ``name``."""
+    for klass in cls.__mro__:
+        if name in vars(klass):
+            return klass
+    raise AttributeError(name)  # pragma: no cover - abstract methods exist
+
+
+def _port_matrix(scheme: RoutingScheme) -> np.ndarray:
+    """(num_switches, num_lids) 0-based port matrix honouring overrides.
+
+    Uses the scheme's (vectorized) ``build_tables`` only when it is
+    defined at or below the class defining ``output_port``; otherwise
+    ``output_port`` was overridden underneath a vectorization that does
+    not know about it, and the generic per-entry construction is used.
+    """
+    cls = type(scheme)
+    tables_cls = _defining_class(cls, "build_tables")
+    port_cls = _defining_class(cls, "output_port")
+    if issubclass(tables_cls, port_cls):
+        tables = scheme.build_tables()
+    else:
+        tables = RoutingScheme.build_tables(scheme)
+    ft = scheme.ft
+    return np.array([tables[sw] for sw in ft.switches], dtype=np.int64)
+
+
+def _selected_matrix(scheme: RoutingScheme) -> np.ndarray:
+    """Dense DLID matrix honouring ``dlid`` overrides (same MRO rule)."""
+    cls = type(scheme)
+    matrix_cls = _defining_class(cls, "dlid_matrix")
+    dlid_cls = _defining_class(cls, "dlid")
+    if issubclass(matrix_cls, dlid_cls):
+        return scheme.dlid_matrix()
+    return RoutingScheme.dlid_matrix(scheme)
+
+
+class RouteKernel:
+    """Compiled routes of one scheme, queryable with array indexing."""
+
+    def __init__(self, scheme: RoutingScheme, port_matrix: np.ndarray):
+        ft = scheme.ft
+        self.scheme = scheme
+        self.ft = ft
+        self.m = ft.m
+        self.n = ft.n
+        self.num_switches = ft.num_switches
+        self.num_nodes = ft.num_nodes
+        self.num_lids = scheme.num_lids
+        #: scalar parity: trace_path gives up after this many switches
+        self.max_steps = 2 * ft.n + 2
+
+        port = np.asarray(port_matrix, dtype=np.int64)
+        if port.shape != (self.num_switches, self.num_lids):
+            raise ValueError(
+                f"port matrix must be {(self.num_switches, self.num_lids)}, "
+                f"got {port.shape}"
+            )
+        self.port = np.ascontiguousarray(port)
+
+        # -- adjacency as integer indices ------------------------------
+        self.peer_switch = np.full((self.num_switches, self.m), -1, np.int32)
+        self.peer_node = np.full((self.num_switches, self.m), -1, np.int32)
+        for i, sw in enumerate(ft.switches):
+            for k, ep in enumerate(ft.ports(sw)):
+                if ep.is_node:
+                    self.peer_node[i, k] = ft.node_id(ep.node)
+                elif ep.is_switch:
+                    self.peer_switch[i, k] = ft.switch_id(ep.switch)
+
+        self.switch_level = np.array(
+            [lvl for _, lvl in ft.switches], dtype=np.int32
+        )
+        self.switch_digits = np.array(
+            [w for w, _ in ft.switches], dtype=np.int64
+        ).reshape(self.num_switches, ft.n - 1)
+        self.node_digits = np.array(ft.nodes, dtype=np.int64).reshape(
+            self.num_nodes, ft.n
+        )
+
+        # -- leaf row and LID index vectors ----------------------------
+        leaves = ft.switches_at_level(ft.n - 1)
+        self.num_leaves = len(leaves)
+        self.leaf_switch = np.array(
+            [ft.switch_id(s) for s in leaves], dtype=np.int32
+        )
+        leaf_row = {int(s): i for i, s in enumerate(self.leaf_switch)}
+        self.attach_switch = np.array(
+            [ft.switch_id(ft.node_attachment(p).switch) for p in ft.nodes],
+            dtype=np.int32,
+        )
+        self.attach_leaf = np.array(
+            [leaf_row[int(s)] for s in self.attach_switch], dtype=np.int32
+        )
+        per_leaf = self.num_nodes // self.num_leaves
+        self.leaf_nodes = np.full((self.num_leaves, per_leaf), -1, np.int32)
+        fill = [0] * self.num_leaves
+        for node_id, row in enumerate(self.attach_leaf):
+            self.leaf_nodes[row, fill[row]] = node_id
+            fill[row] += 1
+        self.lid_owner = (
+            np.arange(self.num_lids, dtype=np.int64) >> scheme.lmc
+        ).astype(np.int32)
+
+        self._trace_all()
+        self._sel: Optional[np.ndarray] = None
+        self._alpha_ln: Optional[np.ndarray] = None
+        self._checks: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    # -- alternate constructors ---------------------------------------
+    @classmethod
+    def from_scheme(cls, scheme: RoutingScheme) -> "RouteKernel":
+        """Compile from the scheme's forwarding tables."""
+        return cls(scheme, _port_matrix(scheme))
+
+    @classmethod
+    def from_lfts(cls, scheme: RoutingScheme, lfts) -> "RouteKernel":
+        """Compile from programmed LFTs (physical 1-based ports)."""
+        ft = scheme.ft
+        mat = np.empty((ft.num_switches, scheme.num_lids), dtype=np.int64)
+        for i, sw in enumerate(ft.switches):
+            mat[i] = lfts[sw].as_array()
+        return cls(scheme, mat - 1)
+
+    # ------------------------------------------------------------------
+    # Batched hop stepping
+    # ------------------------------------------------------------------
+    def _trace_all(self) -> None:
+        """Trace every (leaf, DLID) route with batched hop steps."""
+        F, L, m, steps = self.num_leaves, self.num_lids, self.m, self.max_steps
+        self.route_switch = np.full((F, L, steps), -1, np.int32)
+        self.route_port = np.full((F, L, steps), -1, np.int32)
+        self.route_len = np.zeros((F, L), np.int32)
+        self.delivered = np.full((F, L), -1, np.int32)
+        self.bad_port = np.zeros((F, L), bool)
+
+        cur = np.repeat(self.leaf_switch[:, None], L, axis=1).astype(np.int64)
+        lid_col = np.arange(L)
+        active = np.ones((F, L), bool)
+        for step in range(steps):
+            port = self.port[cur, lid_col[None, :]]
+            ok = (port >= 0) & (port < m)
+            newly_bad = active & ~ok
+            if newly_bad.any():
+                self.bad_port |= newly_bad
+                active = active & ok
+            self.route_switch[:, :, step][active] = cur[active]
+            self.route_port[:, :, step][active] = port[active]
+            safe = np.where(ok, port, 0)
+            nxt_switch = self.peer_switch[cur, safe]
+            nxt_node = self.peer_node[cur, safe]
+            arrived = active & (nxt_node >= 0)
+            self.delivered[arrived] = nxt_node[arrived]
+            self.route_len[arrived] = step + 1
+            active = active & (nxt_node < 0)
+            if not active.any():
+                break
+            cur[active] = nxt_switch[active]
+
+    # ------------------------------------------------------------------
+    # Derived per-route properties (lazy)
+    # ------------------------------------------------------------------
+    def _route_checks(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(updown_ok, turn_id) per (leaf, DLID) route."""
+        if self._checks is not None:
+            return self._checks
+        sw = self.route_switch
+        valid = sw >= 0
+        lev = self.switch_level[np.where(valid, sw, 0)]
+        delta = lev[:, :, 1:] - lev[:, :, :-1]
+        pair_ok = valid[:, :, 1:] & valid[:, :, :-1]
+        descend = (delta > 0) & pair_ok
+        ascend = (delta < 0) & pair_ok
+        # descend seen strictly before position j (exclusive prefix OR)
+        desc_before = np.zeros_like(descend)
+        if descend.shape[2] > 1:
+            desc_before[:, :, 1:] = np.cumsum(descend, axis=2)[:, :, :-1] > 0
+        updown_ok = ~(ascend & desc_before).any(axis=2)
+        # turning switch: first minimum level along the route
+        lev_masked = np.where(valid, lev, np.iinfo(np.int32).max)
+        turn_pos = lev_masked.argmin(axis=2)
+        turn_id = np.take_along_axis(sw, turn_pos[:, :, None], axis=2)[:, :, 0]
+        self._checks = (updown_ok, turn_id)
+        return self._checks
+
+    def _alpha_leaf_node(self) -> np.ndarray:
+        """(num_leaves, num_nodes) gcp length between any source on a
+        leaf and a destination node (== per-pair alpha for src != dst)."""
+        if self._alpha_ln is None:
+            ld = self.switch_digits[self.leaf_switch]  # (F, n-1)
+            nd = self.node_digits[:, : self.n - 1]  # (N, n-1)
+            eq = ld[:, None, :] == nd[None, :, :]
+            self._alpha_ln = np.cumprod(eq, axis=2).sum(axis=2)
+        return self._alpha_ln
+
+    @property
+    def selected(self) -> np.ndarray:
+        """Dense (num_nodes, num_nodes) selected-DLID matrix."""
+        if self._sel is None:
+            self._sel = _selected_matrix(self.scheme)
+        return self._sel
+
+    def _set_selected(self, matrix: np.ndarray) -> None:
+        """Install a precomputed DLID matrix (artifact-cache reuse)."""
+        if matrix.shape != (self.num_nodes, self.num_nodes):
+            raise ValueError(
+                f"DLID matrix must be {(self.num_nodes,) * 2}, "
+                f"got {matrix.shape}"
+            )
+        self._sel = matrix
+
+    # ------------------------------------------------------------------
+    # Scalar-oracle replay (error paths)
+    # ------------------------------------------------------------------
+    def _replay_scalar(self, src_id: int, dst_id: int, dlid: int) -> None:
+        """Re-run one flagged route through the scalar oracle so the
+        raised exception is exactly the scalar tracer's."""
+        from repro.core import verification as scalar
+
+        src, dst = self.ft.nodes[src_id], self.ft.nodes[dst_id]
+        trace = scalar.trace_path(self.scheme, src, dst, dlid=dlid)
+        scalar._check_minimal_and_updown(self.scheme, trace)
+        raise scalar.RoutingError(  # pragma: no cover - oracle safety net
+            f"kernel flagged route {src}->{dst} (DLID {dlid}) but the "
+            "scalar oracle accepts it — kernel/scalar disagreement"
+        )
+
+    def _replay_delivery(self, src_id: int, dst_id: int, dlid: int) -> None:
+        """Replay delivery only (the aggregate queries' failure mode)."""
+        from repro.core import verification as scalar
+
+        src, dst = self.ft.nodes[src_id], self.ft.nodes[dst_id]
+        scalar.trace_path(self.scheme, src, dst, dlid=dlid)
+        raise scalar.RoutingError(  # pragma: no cover - oracle safety net
+            f"kernel flagged route {src}->{dst} (DLID {dlid}) but the "
+            "scalar oracle accepts it — kernel/scalar disagreement"
+        )
+
+    def _any_source_on_leaf(self, leaf: int, excluding: int) -> int:
+        for node_id in self.leaf_nodes[leaf]:
+            if node_id != excluding:
+                return int(node_id)
+        raise RuntimeError(  # pragma: no cover - leaves have >= 2 nodes
+            f"leaf row {leaf} has no source other than node {excluding}"
+        )
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+    def _lca_ok(
+        self, turn_id: np.ndarray, alpha: np.ndarray, dst_digits: np.ndarray
+    ) -> np.ndarray:
+        """Turn switch is a least common ancestor: level == alpha and
+        the first ``alpha`` label digits match the destination's."""
+        tid = np.where(turn_id >= 0, turn_id, 0)
+        ok = self.switch_level[tid] == alpha
+        if self.n > 1:
+            td = self.switch_digits[tid]  # (..., n-1)
+            pos = np.arange(self.n - 1)
+            prefix = (td == dst_digits[..., : self.n - 1]) | (
+                pos >= alpha[..., None]
+            )
+            ok = ok & prefix.all(axis=-1)
+        return ok
+
+    def verify(
+        self,
+        *,
+        pairs: Optional[Iterable[Tuple[NodeLabel, NodeLabel]]] = None,
+        check_offsets: bool = True,
+    ) -> int:
+        """Vectorized :func:`~repro.core.verification.verify_scheme`.
+
+        Same checks, same counting, scalar-identical exceptions (via
+        oracle replay).  With ``pairs=None`` and ``check_offsets=True``
+        the whole fabric is validated from the (leaf, DLID) route
+        tensor directly — sources sharing a leaf share the work.
+        """
+        updown_ok, turn_id = self._route_checks()
+        if pairs is None and check_offsets:
+            owner = self.lid_owner  # (L,)
+            alpha = self._alpha_leaf_node()[:, owner]  # (F, L)
+            expected = 2 * (self.n - alpha) - 1
+            ok = (
+                (self.delivered == owner[None, :])
+                & (self.route_len == expected)
+                & updown_ok
+                & self._lca_ok(turn_id, alpha, self.node_digits[owner])
+            )
+            if not ok.all():
+                leaf, lix = np.argwhere(~ok)[0]
+                dst_id = int(owner[lix])
+                src_id = self._any_source_on_leaf(int(leaf), dst_id)
+                self._replay_scalar(src_id, dst_id, int(lix) + 1)
+            return self.num_lids * (self.num_nodes - 1)
+
+        # Row-per-route mode: explicit pairs and/or selected DLIDs only.
+        if pairs is None:
+            grid = ~np.eye(self.num_nodes, dtype=bool)
+            s_idx, d_idx = (a.astype(np.int64) for a in np.nonzero(grid))
+        else:
+            node_id = self.ft.node_id
+            s_list: List[int] = []
+            d_list: List[int] = []
+            for src, dst in pairs:
+                s_list.append(node_id(src))
+                d_list.append(node_id(dst))
+            s_idx = np.asarray(s_list, dtype=np.int64)
+            d_idx = np.asarray(d_list, dtype=np.int64)
+        if check_offsets:
+            k = self.scheme.lids_per_node
+            s_idx = np.repeat(s_idx, k)
+            d_idx = np.repeat(d_idx, k)
+            lids = d_idx * k + 1 + np.tile(np.arange(k), len(s_idx) // k)
+        else:
+            degenerate = np.nonzero(s_idx == d_idx)[0]
+            if degenerate.size:  # scalar path-selection error parity
+                row = int(degenerate[0])
+                self._replay_scalar(int(s_idx[row]), int(d_idx[row]), 0)
+            lids = self.selected[s_idx, d_idx]
+        leaf = self.attach_leaf[s_idx]
+        lix = lids - 1
+        alpha = self._alpha_leaf_node()[leaf, d_idx]
+        expected = 2 * (self.n - alpha) - 1
+        ok = (
+            (self.delivered[leaf, lix] == d_idx)
+            & (self.route_len[leaf, lix] == expected)
+            & updown_ok[leaf, lix]
+            & self._lca_ok(turn_id[leaf, lix], alpha, self.node_digits[d_idx])
+        )
+        if not ok.all():
+            row = int(np.nonzero(~ok)[0][0])
+            self._replay_scalar(
+                int(s_idx[row]), int(d_idx[row]), int(lids[row])
+            )
+        return int(len(s_idx))
+
+    # ------------------------------------------------------------------
+    # Aggregate static queries
+    # ------------------------------------------------------------------
+    def _all_to_one_rows(
+        self, dst: NodeLabel
+    ) -> Tuple[np.ndarray, np.ndarray, int]:
+        """(leaf rows, lid indices) of every source's selected route to
+        ``dst``, delivery-checked against the scalar oracle on failure."""
+        d = self.ft.node_id(dst)
+        s_idx = np.delete(np.arange(self.num_nodes, dtype=np.int64), d)
+        lids = self.selected[s_idx, d]
+        leaf = self.attach_leaf[s_idx]
+        lix = lids - 1
+        bad = self.delivered[leaf, lix] != d
+        if bad.any():
+            row = int(np.nonzero(bad)[0][0])
+            self._replay_delivery(int(s_idx[row]), d, int(lids[row]))
+        return leaf, lix, d
+
+    def lca_usage(self, dst: NodeLabel) -> Counter:
+        """Vectorized :func:`~repro.core.verification.lca_usage`."""
+        leaf, lix, _ = self._all_to_one_rows(dst)
+        _, turn_id = self._route_checks()
+        counts = np.bincount(
+            turn_id[leaf, lix], minlength=self.num_switches
+        )
+        switches = self.ft.switches
+        return Counter(
+            {switches[i]: int(c) for i, c in enumerate(counts) if c}
+        )
+
+    def link_loads_all_to_one(self, dst: NodeLabel) -> Counter:
+        """Vectorized
+        :func:`~repro.core.verification.link_loads_all_to_one`."""
+        leaf, lix, _ = self._all_to_one_rows(dst)
+        sw = self.route_switch[leaf, lix]  # (R, steps)
+        ports = self.route_port[leaf, lix]
+        valid = sw >= 0
+        enc = sw[valid].astype(np.int64) * self.m + ports[valid]
+        counts = np.bincount(enc, minlength=self.num_switches * self.m)
+        switches = self.ft.switches
+        return Counter(
+            {
+                (switches[i // self.m], int(i % self.m)): int(c)
+                for i, c in enumerate(counts)
+                if c
+            }
+        )
+
+    def cdg_edges(self) -> List[Tuple[Tuple[SwitchLabel, int], ...]]:
+        """Channel-dependency edges over **all** (leaf, DLID) routes —
+        the same edge set the scalar extraction collects over every
+        (src, dst, DLID) triple, since each leaf hosts ≥ 2 nodes."""
+        bad = self.delivered != self.lid_owner[None, :]
+        if bad.any():
+            leaf, lix = np.argwhere(bad)[0]
+            dst_id = int(self.lid_owner[lix])
+            src_id = self._any_source_on_leaf(int(leaf), dst_id)
+            self._replay_delivery(src_id, dst_id, int(lix) + 1)
+        enc = np.where(
+            self.route_switch >= 0,
+            self.route_switch.astype(np.int64) * self.m + self.route_port,
+            -1,
+        )
+        a, b = enc[:, :, :-1], enc[:, :, 1:]
+        mask = (a >= 0) & (b >= 0)
+        held, wanted = a[mask], b[mask]
+        uniq = np.unique(held * (self.num_switches * self.m) + wanted)
+        switches = self.ft.switches
+        base = self.num_switches * self.m
+
+        def channel(code: int) -> Tuple[SwitchLabel, int]:
+            return switches[code // self.m], code % self.m
+
+        return [
+            (channel(int(e) // base), channel(int(e) % base)) for e in uniq
+        ]
+
+    def channel_dependency_graph(self):
+        """Vectorized
+        :func:`~repro.core.verification.channel_dependency_graph`."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_edges_from(self.cdg_edges())
+        return g
+
+    # ------------------------------------------------------------------
+    # Single-route access (tests, CLI)
+    # ------------------------------------------------------------------
+    def path(
+        self, src: NodeLabel, dst: NodeLabel, dlid: Optional[int] = None
+    ):
+        """One compiled route as a
+        :class:`~repro.core.verification.PathTrace` (scalar-identical,
+        including the exceptions raised for invalid routes)."""
+        from repro.core import verification as scalar
+
+        s, d = self.ft.node_id(src), self.ft.node_id(dst)
+        if dlid is None:
+            dlid = self.scheme.dlid(src, dst)
+        if not 1 <= dlid <= self.num_lids:
+            self.scheme.owner(dlid)  # raises the scalar ValueError
+        leaf, lix = int(self.attach_leaf[s]), dlid - 1
+        if int(self.delivered[leaf, lix]) != d:
+            self._replay_delivery(s, d, dlid)
+        length = int(self.route_len[leaf, lix])
+        switches = self.ft.switches
+        return scalar.PathTrace(
+            src,
+            dst,
+            dlid,
+            tuple(
+                switches[i] for i in self.route_switch[leaf, lix, :length]
+            ),
+            tuple(int(p) for p in self.route_port[leaf, lix, :length]),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RouteKernel({self.scheme.name} on FT({self.m}, {self.n}), "
+            f"{self.num_leaves}x{self.num_lids} routes)"
+        )
+
+
+def compile_kernel(scheme: RoutingScheme) -> RouteKernel:
+    """Compile (and memoize on the scheme instance) a scheme's kernel.
+
+    Schemes are immutable after construction, so the compiled kernel is
+    cached on the instance — repeated static queries (verify + LCA
+    histogram + link loads + CDG) share one compilation.
+    """
+    kernel = getattr(scheme, "_route_kernel", None)
+    if kernel is None:
+        kernel = RouteKernel.from_scheme(scheme)
+        scheme._route_kernel = kernel
+    return kernel

@@ -181,8 +181,6 @@ class UpDownScheme(RoutingScheme):
     # -- diagnostics ------------------------------------------------------
     def path_length(self, src: NodeLabel, dst: NodeLabel) -> int:
         """Switch count of the (possibly non-minimal) route."""
-        from repro.core.verification import trace_path
-
         return len(self._trace_loose(src, dst))
 
     def _trace_loose(self, src: NodeLabel, dst: NodeLabel) -> List[SwitchLabel]:

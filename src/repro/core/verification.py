@@ -14,6 +14,15 @@ pair takes under a scheme's forwarding tables and checks:
 * **LCA spreading** (:func:`lca_usage`) — the distribution of turning
   switches for all-to-one traffic, the static signature of the MLID
   improvement (ablation A1).
+
+The fabric-wide entry points (:func:`verify_scheme`, :func:`lca_usage`,
+:func:`link_loads_all_to_one`, :func:`channel_dependency_graph`) run on
+the vectorized :mod:`repro.core.kernel` by default and fall back to the
+scalar tracer with ``use_kernel=False``.  The scalar tracer is the
+oracle: the kernel replays any route it flags through
+:func:`trace_path` so failures raise the identical scalar exception,
+and kernel/scalar equivalence is asserted in
+``tests/core/test_kernel.py``.
 """
 
 from __future__ import annotations
@@ -158,14 +167,22 @@ def verify_scheme(
     *,
     pairs: Optional[Iterable[Tuple[NodeLabel, NodeLabel]]] = None,
     check_offsets: bool = True,
+    use_kernel: bool = True,
 ) -> int:
     """Exhaustively verify a scheme; returns the number of routes checked.
 
     By default checks every ordered (src, dst) pair with the scheme's
     selected DLID; with ``check_offsets`` additionally checks *every*
     LID of every destination from every source (all paths must deliver,
-    not just the selected ones).
+    not just the selected ones).  Runs on the vectorized route kernel
+    unless ``use_kernel=False`` forces the scalar tracer.
     """
+    if use_kernel:
+        from repro.core.kernel import compile_kernel
+
+        return compile_kernel(scheme).verify(
+            pairs=pairs, check_offsets=check_offsets
+        )
     ft = scheme.ft
     checked = 0
     if pairs is None:
@@ -186,7 +203,7 @@ def verify_scheme(
 
 
 def lca_usage(
-    scheme: RoutingScheme, dst: NodeLabel
+    scheme: RoutingScheme, dst: NodeLabel, *, use_kernel: bool = True
 ) -> Counter[SwitchLabel]:
     """Turning-switch histogram when every other node sends to ``dst``.
 
@@ -194,6 +211,10 @@ def lca_usage(
     traffic on few turning switches, MLID spreads it over every least
     common ancestor available to each source group.
     """
+    if use_kernel:
+        from repro.core.kernel import compile_kernel
+
+        return compile_kernel(scheme).lca_usage(dst)
     usage: Counter[SwitchLabel] = Counter()
     for src in scheme.ft.nodes:
         if src == dst:
@@ -203,10 +224,14 @@ def lca_usage(
 
 
 def link_loads_all_to_one(
-    scheme: RoutingScheme, dst: NodeLabel
+    scheme: RoutingScheme, dst: NodeLabel, *, use_kernel: bool = True
 ) -> Counter[Tuple[SwitchLabel, int]]:
     """Per-directed-channel load when every other node sends one packet
     to ``dst``; max value is the static congestion bound."""
+    if use_kernel:
+        from repro.core.kernel import compile_kernel
+
+        return compile_kernel(scheme).link_loads_all_to_one(dst)
     loads: Counter[Tuple[SwitchLabel, int]] = Counter()
     for src in scheme.ft.nodes:
         if src == dst:
@@ -215,7 +240,9 @@ def link_loads_all_to_one(
     return loads
 
 
-def channel_dependency_graph(scheme: RoutingScheme) -> nx.DiGraph:
+def channel_dependency_graph(
+    scheme: RoutingScheme, *, use_kernel: bool = True
+) -> nx.DiGraph:
     """Directed graph of channel-to-channel dependencies over all routes.
 
     Vertices are directed channels ``(switch, out_port)`` plus the
@@ -223,6 +250,10 @@ def channel_dependency_graph(scheme: RoutingScheme) -> nx.DiGraph:
     requesting c2.  Acyclicity implies deadlock freedom under credit
     flow control (Dally & Seitz).
     """
+    if use_kernel:
+        from repro.core.kernel import compile_kernel
+
+        return compile_kernel(scheme).channel_dependency_graph()
     ft = scheme.ft
     g = nx.DiGraph()
     for src in ft.nodes:

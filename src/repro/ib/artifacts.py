@@ -36,6 +36,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.core.kernel import RouteKernel
 from repro.core.scheme import RoutingScheme, get_scheme
 from repro.ib.config import SimConfig
 from repro.ib.lft import LinearForwardingTable
@@ -67,6 +68,10 @@ class RoutingArtifacts:
     lfts: Dict[SwitchLabel, LinearForwardingTable] = field(repr=False)
     #: Flattened (num_nodes * num_nodes) DLID matrix, write-protected.
     dlid_flat: np.ndarray = field(repr=False)
+    #: Route kernel compiled from the programmed LFTs — the compiled
+    #: port/peer arrays every switch forwards through, shared with all
+    #: static analyses (verify, LCA usage, link loads, CDG).
+    kernel: RouteKernel = field(repr=False)
 
     @property
     def ft(self) -> FatTree:
@@ -93,8 +98,12 @@ def build_artifacts(
     scheme_obj = get_scheme(scheme, ft)
     sm = SubnetManager(scheme_obj)
     lfts = sm.configure()
-    dlid_flat = scheme_obj.dlid_matrix().reshape(-1)
+    dlid_matrix = scheme_obj.dlid_matrix()
+    dlid_flat = dlid_matrix.reshape(-1)
     dlid_flat.setflags(write=False)
+    kernel = RouteKernel.from_lfts(scheme_obj, lfts)
+    kernel._set_selected(dlid_matrix)  # reuse instead of recomputing
+    scheme_obj._route_kernel = kernel  # compile_kernel() memo slot
     return RoutingArtifacts(
         m=m,
         n=n,
@@ -103,6 +112,7 @@ def build_artifacts(
         scheme=scheme_obj,
         lfts=lfts,
         dlid_flat=dlid_flat,
+        kernel=kernel,
     )
 
 

@@ -11,7 +11,9 @@ exactly how the Subnet Manager programs real switches (LinearFDBs).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
 
 __all__ = ["LinearForwardingTable"]
 
@@ -19,9 +21,15 @@ __all__ = ["LinearForwardingTable"]
 class LinearForwardingTable:
     """Dense DLID → physical-port map for one switch."""
 
-    __slots__ = ("_ports", "num_physical_ports")
+    __slots__ = ("_ports", "_array", "num_physical_ports")
 
-    def __init__(self, entries: Sequence[int], num_physical_ports: int):
+    def __init__(
+        self,
+        entries: Sequence[int],
+        num_physical_ports: int,
+        *,
+        _validated: bool = False,
+    ):
         """``entries[lid - 1]`` is the physical (1-based) output port.
 
         ``num_physical_ports`` is the count of external ports (the
@@ -30,21 +38,51 @@ class LinearForwardingTable:
         if num_physical_ports < 1:
             raise ValueError(f"need at least one port, got {num_physical_ports}")
         ports = list(entries)
-        for i, port in enumerate(ports):
-            if not 1 <= port <= num_physical_ports:
-                raise ValueError(
-                    f"LFT entry for LID {i + 1} is port {port}, outside "
-                    f"[1, {num_physical_ports}]"
-                )
+        if not _validated:
+            for i, port in enumerate(ports):
+                if not 1 <= port <= num_physical_ports:
+                    raise ValueError(
+                        f"LFT entry for LID {i + 1} is port {port}, outside "
+                        f"[1, {num_physical_ports}]"
+                    )
         self._ports: List[int] = ports
+        self._array: Optional[np.ndarray] = None
         self.num_physical_ports = num_physical_ports
 
     @classmethod
     def from_zero_based(
         cls, entries: Iterable[int], num_physical_ports: int
     ) -> "LinearForwardingTable":
-        """Build from the paper's 0-based ``k`` ports (shifts by +1)."""
-        return cls([k + 1 for k in entries], num_physical_ports)
+        """Build from the paper's 0-based ``k`` ports (shifts by +1).
+
+        This is the Subnet Manager's programming path: validation is a
+        single vectorized range check instead of the per-entry loop
+        (which dominates LFT construction on large fabrics).
+        """
+        arr = np.fromiter((k + 1 for k in entries), dtype=np.int64)
+        bad = (arr < 1) | (arr > num_physical_ports)
+        if bad.any():
+            i = int(np.argmax(bad))
+            raise ValueError(
+                f"LFT entry for LID {i + 1} is port {int(arr[i])}, outside "
+                f"[1, {num_physical_ports}]"
+            )
+        table = cls(arr.tolist(), num_physical_ports, _validated=True)
+        arr.setflags(write=False)
+        table._array = arr
+        return table
+
+    def as_array(self) -> np.ndarray:
+        """The table as a read-only int64 array (``[dlid - 1] -> port``).
+
+        Cached; this is what :meth:`repro.core.kernel.RouteKernel.from_lfts`
+        stacks into the next-hop port matrix.
+        """
+        if self._array is None:
+            arr = np.asarray(self._ports, dtype=np.int64)
+            arr.setflags(write=False)
+            self._array = arr
+        return self._array
 
     def lookup(self, dlid: int) -> int:
         """Physical output port for ``dlid``; raises ``KeyError`` for
@@ -53,6 +91,10 @@ class LinearForwardingTable:
         if not 0 <= idx < len(self._ports):
             raise KeyError(f"DLID {dlid} not present in forwarding table")
         return self._ports[idx]
+
+    def __getitem__(self, dlid: int) -> int:
+        """Index by DLID — ``lft[dlid]`` is :meth:`lookup`."""
+        return self.lookup(dlid)
 
     def __len__(self) -> int:
         return len(self._ports)

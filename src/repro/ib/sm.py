@@ -89,13 +89,25 @@ class SubnetManager:
         (LID 0 is reserved).
         """
         plan: Dict[NodeLabel, range] = {}
-        claimed: List[int] = []
+        windows: List[Tuple[int, int]] = []
         for node in self.ft.nodes:
             window = self.scheme.lid_set(node)
             plan[node] = window
-            claimed.extend(window)
-        expected = list(range(1, self.scheme.num_lids + 1))
-        if sorted(claimed) != expected:
+            windows.append((window.start, window.stop))
+        # Disjoint + dense + starting at 1 iff the sorted windows chain
+        # exactly: each starts where the previous stopped, ending at
+        # num_lids + 1.  O(N) — schemes emit windows in near-sorted
+        # (PID) order, so timsort is linear here; no per-LID
+        # materialization.
+        windows.sort()
+        next_start = 1
+        for start, stop in windows:
+            if start != next_start or stop < start:
+                raise RuntimeError(
+                    "scheme produced overlapping or sparse LID windows"
+                )
+            next_start = stop
+        if next_start != self.scheme.num_lids + 1:
             raise RuntimeError(
                 "scheme produced overlapping or sparse LID windows"
             )

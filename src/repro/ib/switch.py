@@ -88,6 +88,7 @@ class InputUnit:
         "buffers",
         "upstream",
         "_routing",
+        "_fwd",
         "_flying_ns",
         "_record_routes",
     )
@@ -105,6 +106,9 @@ class InputUnit:
         # or blocked on an output buffer?  Prevents double-routing.
         self._routing: List[bool] = [False] * cfg.num_vls
         # Hot-loop constants, hoisted out of the per-packet path.
+        # _fwd is the LFT's dense entry list: forwarding is one array
+        # index per packet instead of a bounds-checking method call.
+        self._fwd = switch.lft._ports
         self._flying_ns = cfg.flying_time_ns
         self._record_routes = cfg.record_routes
 
@@ -122,7 +126,12 @@ class InputUnit:
     def _routed(self, vl: int) -> None:
         """Routing decided for the head packet of ``vl``; request output."""
         packet = self.buffers[vl].head()
-        out_port = self.switch.lft.lookup(packet.dlid)
+        idx = packet.dlid - 1
+        fwd = self._fwd
+        if 0 <= idx < len(fwd):
+            out_port = fwd[idx]
+        else:  # preserve the LFT's out-of-range semantics (drop)
+            out_port = self.switch.lft.lookup(packet.dlid)
         if out_port == self.port:
             raise RuntimeError(
                 f"switch {self.switch.name}: DLID {packet.dlid} routed back "
@@ -177,13 +186,27 @@ class SwitchModel:
         self.cfg = cfg
         self.name = name
         self.num_ports = num_ports
+        #: physical port -> units; populated lazily by the wiring code
+        self.rx: Dict[int, InputUnit] = {}
+        self.tx: Dict[int, Transmitter] = {}
         self.lft = lft
         self.router = RoutingEngine(
             engine, cfg.routing_time_ns, cfg.routing_engines_per_switch
         )
-        #: physical port -> units; populated lazily by the wiring code
-        self.rx: Dict[int, InputUnit] = {}
-        self.tx: Dict[int, Transmitter] = {}
+
+    @property
+    def lft(self) -> LinearForwardingTable:
+        return self._lft
+
+    @lft.setter
+    def lft(self, table: LinearForwardingTable) -> None:
+        # Re-hoist the dense entry list into every input unit so
+        # tests/tools that swap tables at runtime stay consistent with
+        # the one-array-index forwarding path.
+        self._lft = table
+        fwd = table._ports
+        for unit in self.rx.values():
+            unit._fwd = fwd
 
     def add_port(self, port: int) -> None:
         """Instantiate the RX/TX pair for a physical port (1-based)."""

@@ -7,7 +7,6 @@ from repro.core.fault import (
     DisconnectedError,
     FaultSet,
     FaultTolerantTables,
-    link_id,
 )
 from repro.core.scheme import get_scheme
 from repro.topology.fattree import FatTree

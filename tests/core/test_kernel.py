@@ -1,0 +1,248 @@
+"""Kernel-vs-scalar equivalence: the vectorized route kernel must be
+indistinguishable from the scalar tracer on every output — per-path
+switch sequences, ports and turns, verification verdicts and counts,
+LCA-usage histograms, all-to-one link loads, and CDG edge sets."""
+
+import numpy as np
+import pytest
+
+from repro.core import verification as v
+from repro.core.extensions import DestStaggeredMlidScheme, HashedMlidScheme
+from repro.core.forwarding import MlidScheme
+from repro.core.kernel import RouteKernel, compile_kernel
+from repro.core.scheme import RoutingScheme
+from repro.core.slid import SlidScheme
+from repro.core.updown import UpDownScheme
+from repro.topology.fattree import FatTree
+
+MN = [(4, 2), (8, 2), (4, 3)]
+SCHEMES = [MlidScheme, SlidScheme]
+
+
+def _schemes(m, n):
+    ft = FatTree(m, n)
+    return [cls(ft) for cls in SCHEMES]
+
+
+@pytest.mark.parametrize("m,n", MN)
+@pytest.mark.parametrize("cls", SCHEMES, ids=lambda c: c.name)
+def test_per_path_equivalence(m, n, cls):
+    """Every (src, dst, DLID) route: identical switches, ports, turn."""
+    ft = FatTree(m, n)
+    scheme = cls(ft)
+    kernel = compile_kernel(scheme)
+    for src in ft.nodes:
+        for dst in ft.nodes:
+            if src == dst:
+                continue
+            for lid in scheme.lid_set(dst):
+                scalar = v.trace_path(scheme, src, dst, dlid=lid)
+                fast = kernel.path(src, dst, lid)
+                assert fast == scalar
+                assert fast.turn == scalar.turn
+                assert fast.links == scalar.links
+
+
+@pytest.mark.parametrize("m,n", MN)
+@pytest.mark.parametrize("cls", SCHEMES, ids=lambda c: c.name)
+def test_selected_path_default_dlid(m, n, cls):
+    scheme = cls(FatTree(m, n))
+    kernel = compile_kernel(scheme)
+    src, dst = scheme.ft.nodes[0], scheme.ft.nodes[-1]
+    assert kernel.path(src, dst) == v.trace_path(scheme, src, dst)
+
+
+@pytest.mark.parametrize("m,n", MN)
+def test_verify_counts_match_scalar(m, n):
+    for scheme in _schemes(m, n):
+        for offsets in (True, False):
+            fast = v.verify_scheme(scheme, check_offsets=offsets)
+            slow = v.verify_scheme(
+                scheme, check_offsets=offsets, use_kernel=False
+            )
+            assert fast == slow
+
+
+@pytest.mark.parametrize("m,n", MN)
+def test_verify_pairs_subset(m, n):
+    for scheme in _schemes(m, n):
+        nodes = scheme.ft.nodes
+        pairs = [(nodes[0], nodes[-1]), (nodes[1], nodes[2])]
+        fast = v.verify_scheme(scheme, pairs=pairs)
+        slow = v.verify_scheme(scheme, pairs=pairs, use_kernel=False)
+        assert fast == slow == 2 * scheme.lids_per_node
+
+
+@pytest.mark.parametrize("m,n", MN)
+def test_lca_usage_equivalence(m, n):
+    for scheme in _schemes(m, n):
+        for dst in (scheme.ft.nodes[0], scheme.ft.nodes[-1]):
+            assert v.lca_usage(scheme, dst) == v.lca_usage(
+                scheme, dst, use_kernel=False
+            )
+
+
+@pytest.mark.parametrize("m,n", MN)
+def test_link_loads_equivalence(m, n):
+    for scheme in _schemes(m, n):
+        for dst in (scheme.ft.nodes[0], scheme.ft.nodes[-1]):
+            assert v.link_loads_all_to_one(
+                scheme, dst
+            ) == v.link_loads_all_to_one(scheme, dst, use_kernel=False)
+
+
+@pytest.mark.parametrize("m,n", MN)
+def test_cdg_edge_set_equivalence(m, n):
+    for scheme in _schemes(m, n):
+        fast = v.channel_dependency_graph(scheme)
+        slow = v.channel_dependency_graph(scheme, use_kernel=False)
+        assert set(fast.edges) == set(slow.edges)
+        assert set(fast.nodes) == set(slow.nodes)
+
+
+def test_cdg_equivalence_updown_scheme():
+    """Non-minimal up*/down* detours exercise the long-route tail."""
+    scheme = UpDownScheme(FatTree(4, 2))
+    fast = v.channel_dependency_graph(scheme)
+    slow = v.channel_dependency_graph(scheme, use_kernel=False)
+    assert set(fast.edges) == set(slow.edges)
+
+
+def test_degenerate_single_switch_tree():
+    """FT(4, 1): one leaf switch, every route is one hop."""
+    scheme = MlidScheme(FatTree(4, 1))
+    kernel = compile_kernel(scheme)
+    assert kernel.verify() == v.verify_scheme(scheme, use_kernel=False)
+    src, dst = scheme.ft.nodes[0], scheme.ft.nodes[1]
+    assert kernel.path(src, dst) == v.trace_path(scheme, src, dst)
+
+
+def test_extension_selection_policies_verify_and_agree():
+    """mlid-hash / mlid-stagger: the dense DLID matrix now matches the
+    scalar ``dlid`` (regression: the inherited vectorized matrix used
+    to silently drop the hash/stagger term)."""
+    ft = FatTree(4, 2)
+    for cls in (HashedMlidScheme, DestStaggeredMlidScheme):
+        scheme = cls(ft)
+        matrix = scheme.dlid_matrix()
+        for s, src in enumerate(ft.nodes):
+            for d, dst in enumerate(ft.nodes):
+                if s != d:
+                    assert matrix[s, d] == scheme.dlid(src, dst)
+        assert compile_kernel(scheme).verify(
+            check_offsets=False
+        ) == v.verify_scheme(scheme, check_offsets=False, use_kernel=False)
+
+
+class _Misdelivering(MlidScheme):
+    """Leaf entry corrupted: one DLID exits the wrong node port."""
+
+    def output_port(self, switch, lid):
+        k = super().output_port(switch, lid)
+        if switch == ((0,), 1) and lid == 1:
+            return (k + 1) % self.ft.half
+        return k
+
+
+class _Looping(MlidScheme):
+    """One DLID always ascends at level 1: never delivered."""
+
+    def output_port(self, switch, lid):
+        k = super().output_port(switch, lid)
+        if switch[1] == 1 and lid == 3:
+            return self.ft.m - 1
+        return k
+
+
+class _BadPort(MlidScheme):
+    """Forwarding entry outside the physical port range."""
+
+    def output_port(self, switch, lid):
+        k = super().output_port(switch, lid)
+        if switch[1] == 0 and lid == 7:
+            return 99
+        return k
+
+
+@pytest.mark.parametrize("cls", [_Misdelivering, _Looping, _BadPort])
+def test_kernel_raises_scalar_identical_errors(cls):
+    """output_port overridden under the vectorized build_tables: the
+    kernel must still see the corruption (MRO guard) and must raise the
+    exact message the scalar oracle raises."""
+    ft = FatTree(4, 2)
+    with pytest.raises(v.RoutingError) as kernel_err:
+        v.verify_scheme(cls(ft))
+    with pytest.raises(v.RoutingError) as scalar_err:
+        v.verify_scheme(cls(ft), use_kernel=False)
+    assert str(kernel_err.value) == str(scalar_err.value)
+
+
+def test_aggregate_queries_raise_on_broken_routes():
+    ft = FatTree(4, 2)
+    scheme = _Looping(ft)
+    kernel = compile_kernel(scheme)
+    with pytest.raises(v.RoutingError):
+        kernel.cdg_edges()
+    dst = scheme.owner(3)
+    with pytest.raises(v.RoutingError):
+        kernel.lca_usage(dst)
+    with pytest.raises(v.RoutingError):
+        kernel.link_loads_all_to_one(dst)
+
+
+def test_from_lfts_matches_from_scheme():
+    """Compiling from programmed LFTs (1-based physical ports) equals
+    compiling from the scheme's 0-based tables."""
+    from repro.ib.sm import SubnetManager
+
+    scheme = MlidScheme(FatTree(4, 2))
+    lfts = SubnetManager(scheme).configure()
+    a = RouteKernel.from_scheme(scheme)
+    b = RouteKernel.from_lfts(scheme, lfts)
+    assert np.array_equal(a.port, b.port)
+    assert np.array_equal(a.route_switch, b.route_switch)
+    assert np.array_equal(a.delivered, b.delivered)
+
+
+def test_compile_kernel_memoizes_per_scheme_instance():
+    scheme = MlidScheme(FatTree(4, 2))
+    assert compile_kernel(scheme) is compile_kernel(scheme)
+    other = MlidScheme(FatTree(4, 2))
+    assert compile_kernel(other) is not compile_kernel(scheme)
+
+
+def test_port_matrix_shape_validated():
+    scheme = MlidScheme(FatTree(4, 2))
+    with pytest.raises(ValueError, match="port matrix"):
+        RouteKernel(scheme, np.zeros((2, 2), dtype=np.int64))
+
+
+def test_generic_scheme_without_vectorized_tables():
+    """A scheme relying on the generic per-entry build_tables loop
+    compiles and verifies through the kernel too."""
+
+    class PlainMlid(RoutingScheme):
+        name = "plain"
+        _inner = None
+
+        def __init__(self, ft):
+            super().__init__(ft)
+            self._inner = MlidScheme(ft)
+
+        @property
+        def lmc(self):
+            return self._inner.lmc
+
+        def base_lid(self, node):
+            return self._inner.base_lid(node)
+
+        def dlid(self, src, dst):
+            return self._inner.dlid(src, dst)
+
+        def output_port(self, switch, lid):
+            return self._inner.output_port(switch, lid)
+
+    scheme = PlainMlid(FatTree(4, 2))
+    assert compile_kernel(scheme).verify() == v.verify_scheme(
+        scheme, use_kernel=False
+    )

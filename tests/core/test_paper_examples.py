@@ -10,7 +10,6 @@ from repro.core.forwarding import MlidScheme
 from repro.core.path_selection import select_dlid
 from repro.core.verification import trace_path
 from repro.topology import groups
-from repro.topology.fattree import FatTree
 
 
 class TestSection3Examples:

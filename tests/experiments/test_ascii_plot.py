@@ -1,6 +1,5 @@
 """Tests for the ASCII curve plot."""
 
-import math
 
 from repro.experiments.report import ascii_plot
 

@@ -1,6 +1,5 @@
 """Tests for report rendering."""
 
-import math
 
 from repro.experiments.configs import ExperimentConfig
 from repro.experiments.report import render_figure_result, render_table, to_csv

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.experiments.configs import ExperimentConfig
-from repro.experiments.sweep import FigureResult, run_figure
+from repro.experiments.sweep import run_figure
 from repro.ib.config import SimConfig
 
 TINY = ExperimentConfig(

@@ -91,3 +91,39 @@ def test_dlid_matrix_is_write_protected():
     artifacts = get_artifacts(4, 2, "mlid", SimConfig())
     with pytest.raises(ValueError):
         artifacts.dlid_flat[0] = 99
+
+
+def test_artifacts_carry_compiled_kernel():
+    """The kernel compiled from the programmed LFTs equals one compiled
+    from the scheme directly, and verifies the whole fabric."""
+    from repro.core.kernel import RouteKernel, compile_kernel
+
+    artifacts = get_artifacts(4, 2, "mlid", SimConfig())
+    kernel = artifacts.kernel
+    direct = RouteKernel.from_scheme(artifacts.scheme)
+    assert np.array_equal(kernel.port, direct.port)
+    assert np.array_equal(kernel.route_switch, direct.route_switch)
+    assert np.array_equal(kernel.delivered, direct.delivered)
+    nodes = artifacts.ft.num_nodes
+    assert kernel.verify() == artifacts.scheme.num_lids * (nodes - 1)
+    # The artifact's DLID matrix is shared with the kernel...
+    assert np.array_equal(
+        kernel.selected.reshape(-1), artifacts.dlid_flat
+    )
+    # ...and compile_kernel() reuses the artifact's compilation.
+    assert compile_kernel(artifacts.scheme) is kernel
+
+
+def test_kernel_selected_matrix_consistent_for_extensions():
+    """mlid-hash artifacts: the cached DLID matrix must agree with the
+    scheme's scalar dlid() (regression for the inherited vectorized
+    matrix dropping the hash)."""
+    artifacts = get_artifacts(4, 2, "mlid-hash", SimConfig())
+    scheme = artifacts.scheme
+    ft = artifacts.ft
+    n = ft.num_nodes
+    for s in range(n):
+        for d in range(n):
+            if s != d:
+                expected = scheme.dlid(ft.nodes[s], ft.nodes[d])
+                assert artifacts.dlid_flat[s * n + d] == expected

@@ -1,6 +1,5 @@
 """Tests for the endnode: generation, injection queues, sink."""
 
-import math
 
 import numpy as np
 import pytest

@@ -4,7 +4,6 @@ import pytest
 
 from repro.ib.config import SimConfig
 from repro.ib.instrumentation import (
-    FabricReport,
     LinkProbe,
     probe_fabric,
     routing_pressure,

@@ -54,6 +54,34 @@ def test_lid_plan_rejects_overlap():
         sm.assign_lids()
 
 
+def test_lid_plan_rejects_sparse_windows():
+    """A gap in the LID space (window skipped past LID 1) is flagged by
+    the O(N) chain check just as the full materialization was."""
+    ft = FatTree(4, 2)
+    scheme = get_scheme("mlid", ft)
+    original = type(scheme).base_lid
+    scheme.base_lid = lambda node: original(scheme, node) + 2  # shift: gap at 1-2
+    sm = SubnetManager(scheme)
+    with pytest.raises(RuntimeError, match="LID windows"):
+        sm.assign_lids()
+
+
+def test_lid_plan_rejects_window_past_the_end():
+    """Dense from 1 but overrunning num_lids (last window too high)."""
+    ft = FatTree(4, 2)
+    scheme = get_scheme("slid", ft)
+    original = type(scheme).base_lid
+    last = ft.nodes[-1]
+
+    def shifted(node):
+        return original(scheme, node) + (1 if node == last else 0)
+
+    scheme.base_lid = shifted
+    sm = SubnetManager(scheme)
+    with pytest.raises(RuntimeError, match="LID windows"):
+        sm.assign_lids()
+
+
 @pytest.mark.parametrize("name", ["mlid", "slid"])
 def test_lfts_use_physical_ports(name):
     ft = FatTree(4, 2)

@@ -7,7 +7,6 @@ import pytest
 from repro.ib.config import SimConfig
 from repro.ib.lft import LinearForwardingTable
 from repro.ib.subnet import build_subnet
-from repro.traffic import UniformPattern
 
 
 def test_corrupted_lft_causes_detected_misdelivery():

@@ -180,6 +180,77 @@ def test_peek_time_empty_queue():
     assert Engine().peek_time() is None
 
 
+def test_peek_time_pops_run_of_cancelled_heads():
+    """Lazily-cancelled events at the heap head are drained, not just
+    skipped: peek_time physically removes them from the queue."""
+    eng = Engine()
+    cancelled = [eng.schedule(float(t), lambda: None) for t in (1, 2, 3)]
+    eng.schedule(9.0, lambda: None)
+    for ev in cancelled:
+        ev.cancel()
+    assert eng.pending == 4
+    assert eng.peek_time() == 9.0
+    assert eng.pending == 1  # the three cancelled heads were dropped
+
+
+def test_peek_time_all_cancelled_drains_to_none():
+    eng = Engine()
+    events = [eng.schedule(float(t), lambda: None) for t in (1, 2)]
+    for ev in events:
+        ev.cancel()
+    assert eng.peek_time() is None
+    assert eng.pending == 0
+
+
+def test_peek_time_does_not_advance_clock_or_counter():
+    eng = Engine()
+    ev = eng.schedule(5.0, lambda: None)
+    ev.cancel()
+    eng.schedule(7.0, lambda: None)
+    assert eng.peek_time() == 7.0
+    assert eng.now == 0.0
+    assert eng.events_processed == 0
+
+
+def test_step_skips_run_of_cancelled_heads():
+    """step() pops through consecutive cancelled heads and fires the
+    first live event exactly once."""
+    eng = Engine()
+    fired = []
+    cancelled = [
+        eng.schedule(float(t), lambda t=t: fired.append(t)) for t in (1, 2, 3)
+    ]
+    eng.schedule(4.0, lambda: fired.append(4))
+    for ev in cancelled:
+        ev.cancel()
+    assert eng.step() is True
+    assert fired == [4]
+    assert eng.now == 4.0
+    assert eng.events_processed == 1
+
+
+def test_step_all_cancelled_returns_false():
+    eng = Engine()
+    events = [eng.schedule(float(t), lambda: None) for t in (1, 2)]
+    for ev in events:
+        ev.cancel()
+    assert eng.step() is False
+    assert eng.pending == 0
+    assert eng.now == 0.0  # clock untouched when nothing fires
+    assert eng.events_processed == 0
+
+
+def test_event_cancelled_mid_step_sequence():
+    """An event cancelled by an earlier event's callback never fires."""
+    eng = Engine()
+    fired = []
+    later = eng.schedule(2.0, lambda: fired.append("later"))
+    eng.schedule(1.0, lambda: (fired.append("first"), later.cancel()))
+    assert eng.step() is True
+    assert eng.step() is False
+    assert fired == ["first"]
+
+
 def test_events_processed_counts():
     eng = Engine()
     for t in range(5):

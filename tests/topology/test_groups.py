@@ -1,7 +1,7 @@
 """Tests for Definitions 1-4: gcp, lca, gcpg, rank, PID."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.topology import groups
 from repro.topology.labels import node_labels

@@ -1,6 +1,5 @@
 """Tests for the ASCII topology renderer."""
 
-import pytest
 
 from repro.topology.fattree import FatTree
 from repro.topology.render import render_fattree
