@@ -21,6 +21,11 @@ from repro.experiments.configs import (
     get_experiment,
     all_experiments,
 )
+from repro.experiments.failover import (
+    FAILOVER_COLUMNS,
+    run_failover,
+    run_failover_sweep,
+)
 from repro.experiments.parallel import PointSpec, execute_points
 from repro.experiments.runner import SweepPoint, run_point, run_sweep
 from repro.experiments.sweep import FigureResult, run_figure, saturation_throughput
@@ -38,6 +43,9 @@ __all__ = [
     "SweepPoint",
     "run_point",
     "run_sweep",
+    "FAILOVER_COLUMNS",
+    "run_failover",
+    "run_failover_sweep",
     "FigureResult",
     "run_figure",
     "saturation_throughput",

@@ -84,6 +84,16 @@ class SimConfig:
     #: FIFO request queue.  See DESIGN.md §3 for why the paper's
     #: simulator is best matched by a small shared pool.
     routing_engines_per_switch: int = 1
+    #: Time between a port changing state (link down/up) and the Subnet
+    #: Manager learning about it — the trap propagation / port-poll
+    #: latency of the :mod:`repro.runtime` detection model.  0 models
+    #: an oracle SM that reacts instantly.
+    detection_latency_ns: float = 500.0
+    #: Time the SM needs to reprogram one switch's LFT (one SubnSet MAD
+    #: round trip); delta reprogramming after a repair charges this per
+    #: *modified* switch, serially — the paper's "subnet manager
+    #: re-assigns forwarding table for each switch".
+    sm_program_time_ns: float = 200.0
 
     def __post_init__(self) -> None:
         if self.flying_time_ns < 0 or self.routing_time_ns < 0:
@@ -132,6 +142,10 @@ class SimConfig:
             raise ValueError(
                 "routing_engines_per_switch must be >= 0 (0 = per-port)"
             )
+        if self.detection_latency_ns < 0:
+            raise ValueError("detection_latency_ns must be non-negative")
+        if self.sm_program_time_ns < 0:
+            raise ValueError("sm_program_time_ns must be non-negative")
 
     @property
     def serialization_ns(self) -> float:

@@ -43,5 +43,19 @@ class CreditAccount:
             raise RuntimeError("credit overflow — more credits than buffer slots")
         self.available += 1
 
+    def reset(self, available: int) -> None:
+        """Re-initialize the counter to ``available`` credits.
+
+        Used when a link comes back up: IBA link training renegotiates
+        flow control from scratch, so the account restarts at the
+        receiver's current free-slot count (in-flight credit returns
+        lost on the dead wire are forgotten).
+        """
+        if not 0 <= available <= self.initial:
+            raise ValueError(
+                f"reset credits must be in [0, {self.initial}], got {available}"
+            )
+        self.available = available
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CreditAccount({self.available}/{self.initial})"

@@ -17,7 +17,7 @@ from typing import Dict, List, Tuple
 from repro.ib.subnet import Subnet
 from repro.topology.labels import SwitchLabel, format_switch
 
-__all__ = ["LinkProbe", "FabricReport", "probe_fabric"]
+__all__ = ["LinkProbe", "FabricReport", "probe_fabric", "loss_report"]
 
 #: Fabric layers a unidirectional channel can belong to.
 LAYERS = ("injection", "up", "down", "ejection")
@@ -127,6 +127,32 @@ def probe_fabric(net: Subnet) -> FabricReport:
                 )
             )
     return FabricReport(elapsed_ns=elapsed, links=links)
+
+
+def loss_report(net: Subnet) -> List[dict]:
+    """Per-channel drop counts (non-zero only), busiest first.
+
+    Packets are only ever dropped on dead links (runtime failure
+    injection, :mod:`repro.runtime`) — a healthy fabric is lossless by
+    credit flow control — so a non-empty report localizes exactly where
+    traffic black-holed between a failure and the SM's reprogram.
+    """
+    rows: List[dict] = []
+    for node in net.endnodes:
+        if node.tx.packets_dropped:
+            rows.append(
+                {"channel": f"node{node.pid}->leaf", "dropped": node.tx.packets_dropped}
+            )
+    for sw, model in net.switches.items():
+        for phys, tx in model.tx.items():
+            if tx.packets_dropped:
+                rows.append(
+                    {
+                        "channel": f"{format_switch(*sw)}[{phys}]",
+                        "dropped": tx.packets_dropped,
+                    }
+                )
+    return sorted(rows, key=lambda r: -r["dropped"])
 
 
 def routing_pressure(net: Subnet) -> List[Tuple[SwitchLabel, float]]:

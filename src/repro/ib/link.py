@@ -24,6 +24,16 @@ When an output slot frees, the transmitter first serves its FIFO of
 *waiters* (switch input units blocked on this output buffer — crossbar
 arbitration), then the owner's ``on_free`` hook (endnodes refill from
 their injection queues).
+
+Link state (:mod:`repro.runtime` failure injection): a transmitter can
+be taken down mid-run with :meth:`Transmitter.fail`.  A dead channel
+drops — the packet serializing on the wire never arrives, buffered
+packets are discarded, and anything later forwarded to the port
+vanishes (``packets_dropped`` counts them).  Credit returns riding the
+dead wire are lost too.  :meth:`Transmitter.revive` models link
+retraining: flow control restarts from the receiver's current free
+slots.  Both are no-ops on the simulation hot path while the link is
+healthy.
 """
 
 from __future__ import annotations
@@ -62,6 +72,11 @@ class Transmitter:
         "_single_vl",
         "_flying_ns",
         "_byte_ns",
+        "alive",
+        "packets_dropped",
+        "_deliver_ev",
+        "_tail_ev",
+        "_wire_vl",
     )
 
     def __init__(self, engine: Engine, cfg: SimConfig, name: str = ""):
@@ -96,6 +111,12 @@ class Transmitter:
         self._single_vl = cfg.num_vls == 1 and self.arbiter is None
         self._flying_ns = cfg.flying_time_ns
         self._byte_ns = cfg.byte_time_ns
+        # Link state (runtime failure injection).
+        self.alive = True
+        self.packets_dropped = 0
+        self._deliver_ev = None
+        self._tail_ev = None
+        self._wire_vl = 0
 
     # ------------------------------------------------------------------
     def connect(self, receiver: object) -> None:
@@ -103,16 +124,32 @@ class Transmitter:
         self.receiver = receiver
 
     def can_accept(self, vl: int) -> bool:
-        """Space in the output buffer for ``vl``?"""
-        return self.buffers[vl].can_accept()
+        """Space in the output buffer for ``vl``?
+
+        A dead channel always accepts (and drops): forwarding must not
+        back-pressure the crossbar, or stale entries would wedge every
+        input unit behind the failed port instead of black-holing."""
+        return not self.alive or self.buffers[vl].can_accept()
 
     def accept(self, packet: Packet) -> None:
-        """Place a packet into its VL's output buffer and try to send."""
+        """Place a packet into its VL's output buffer and try to send.
+
+        A dead channel swallows the packet instead (drop-on-dead-link:
+        a switch whose stale LFT entry still points at a failed port
+        forwards into the void until the SM reprograms it)."""
+        if not self.alive:
+            self.packets_dropped += 1
+            return
         self.buffers[packet.vl].push(packet)
         self.kick()
 
     def credit_return(self, vl: int) -> None:
-        """The remote input buffer freed one slot for ``vl``."""
+        """The remote input buffer freed one slot for ``vl``.
+
+        Lost (ignored) while the link is down — :meth:`revive` restarts
+        flow control from the receiver's actual state instead."""
+        if not self.alive:
+            return
         self.credits[vl].restore()
         self.kick()
 
@@ -137,16 +174,20 @@ class Transmitter:
                 self.arbiter.charge(vl, packet.size_bytes)
         self.credits[vl].consume()
         self._wire_busy = True
+        self._wire_vl = vl
         engine = self.engine
         now = engine.now
         self._last_start = now
         if packet.t_injected < 0:
             packet.t_injected = now
         receiver = self.receiver
-        engine.schedule_after(
+        # The two event refs let fail() lose the in-flight packet;
+        # cancelling an already-fired event is a harmless no-op, so
+        # they are never cleared on the hot path.
+        self._deliver_ev = engine.schedule_after(
             self._flying_ns, lambda: receiver.receive(packet)
         )
-        engine.schedule_after(
+        self._tail_ev = engine.schedule_after(
             packet.size_bytes * self._byte_ns,
             lambda: self._tx_done(vl),
         )
@@ -178,6 +219,70 @@ class Transmitter:
             self.waiters[vl].popleft()()
         elif self.on_free is not None:
             self.on_free(vl)
+        self.kick()
+
+    # ------------------------------------------------------------------
+    # Link state (failure injection / recovery)
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Take the channel down, losing everything it was carrying.
+
+        The packet serializing on the wire never reaches the receiver,
+        buffered packets are discarded, and blocked crossbar waiters are
+        drained straight into the drop path (their packets are exactly
+        the ones a stale LFT keeps forwarding here).  Idempotent.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        # Whether the on-wire packet's header already crossed: a fired
+        # event keeps time < now (same-time events still in the queue
+        # run after this one — FIFO — so cancelling them works).
+        header_arrived = (
+            self._deliver_ev is not None
+            and not self._deliver_ev.cancelled
+            and self._deliver_ev.time < self.engine.now
+        )
+        if self._deliver_ev is not None:
+            self._deliver_ev.cancel()
+            self._deliver_ev = None
+        if self._tail_ev is not None:
+            self._tail_ev.cancel()
+            self._tail_ev = None
+        if self._wire_busy:
+            self.busy_time += self.engine.now - self._last_start
+            self._wire_busy = False
+            if header_arrived:
+                # The receiver owns this packet (only its tail was still
+                # serializing): it was sent, not lost.
+                self.buffers[self._wire_vl].pop()
+                self.packets_sent += 1
+        for buffer in self.buffers:
+            while buffer.head() is not None:
+                buffer.pop()
+                self.packets_dropped += 1
+        for queue in self.waiters:
+            # Each waiter moves its packet through the crossbar into
+            # this (now dead) port, where accept() drops it.  New
+            # waiters cannot appear mid-drain: can_accept() is True on
+            # a dead channel, and routing completions arrive as later
+            # engine events.
+            while queue:
+                queue.popleft()()
+
+    def revive(self, free_slots: Optional[List[int]] = None) -> None:
+        """Bring the channel back up (link retraining).
+
+        ``free_slots`` is the receiver's current free input-buffer
+        slots per VL — the credit state a retrained link starts from.
+        ``None`` means the receiver is empty (full credit).  Idempotent.
+        """
+        if self.alive:
+            return
+        self.alive = True
+        for vl, account in enumerate(self.credits):
+            slots = account.initial if free_slots is None else free_slots[vl]
+            account.reset(slots)
         self.kick()
 
     # ------------------------------------------------------------------

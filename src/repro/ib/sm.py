@@ -124,6 +124,37 @@ class SubnetManager:
             for sw, entries in tables.items()
         }
 
+    def program_delta(
+        self,
+        live: Dict[SwitchLabel, List[int]],
+        target: Dict[SwitchLabel, List[int]],
+    ) -> Dict[SwitchLabel, Tuple[LinearForwardingTable, int]]:
+        """Delta reprogramming: new LFTs for switches whose table moved.
+
+        ``live`` and ``target`` are 0-based paper-port tables
+        (``tables[sw][lid - 1] -> k``, the :meth:`RoutingScheme.build_tables`
+        shape).  Returns, for every switch with at least one differing
+        entry, the fully built *physical* (1-based) replacement LFT and
+        the count of entries that changed — the same
+        :meth:`LinearForwardingTable.from_zero_based` conversion the
+        initial sweep uses, so delta-programmed entries go through the
+        identical ``k -> k + 1`` port shift and range validation.
+
+        Switches are emitted in fabric (``ft.switches``) order so the
+        caller's switch-by-switch programming schedule is deterministic.
+        """
+        out: Dict[SwitchLabel, Tuple[LinearForwardingTable, int]] = {}
+        for sw in self.ft.switches:
+            old, new = live[sw], target[sw]
+            if old == new:
+                continue
+            changed = sum(1 for a, b in zip(old, new) if a != b)
+            out[sw] = (
+                LinearForwardingTable.from_zero_based(new, self.ft.m),
+                changed,
+            )
+        return out
+
     def configure(self) -> Dict[SwitchLabel, LinearForwardingTable]:
         """Full initialization: discovery, LID plan, LFTs."""
         self.discover()

@@ -1,0 +1,77 @@
+"""When does the Subnet Manager *learn* that a port changed state?
+
+Real subnets have two mechanisms:
+
+* **traps** — the switch adjacent to the failed link sends an
+  unsolicited SMP trap to the SM; the SM hears about the failure one
+  trap-propagation latency after it happened
+  (``SimConfig.detection_latency_ns``);
+* **heartbeats** — the SM polls port state on a fixed sweep period;
+  a change is noticed at the *next* sweep tick after it happens (plus
+  the same propagation latency for the response MAD).
+
+:class:`TrapDetector` models both: with no heartbeat period it is a
+pure trap channel (detection at ``t + latency``); with a period it
+quantizes awareness to the sweep grid (detection at the first tick
+strictly after ``t``, plus latency).  A latency of 0 with no heartbeat
+is the oracle SM — it reacts the instant the link state changes, which
+is the configuration whose repaired tables must be bit-identical to
+:class:`repro.core.fault.FaultTolerantTables`' offline repair.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+from repro.sim.engine import Engine
+
+__all__ = ["TrapDetector"]
+
+
+class TrapDetector:
+    """Schedules SM awareness of port-state changes."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        latency_ns: float,
+        heartbeat_period_ns: Optional[float] = None,
+    ):
+        if latency_ns < 0:
+            raise ValueError(f"latency must be non-negative, got {latency_ns}")
+        if heartbeat_period_ns is not None and heartbeat_period_ns <= 0:
+            raise ValueError(
+                f"heartbeat period must be positive, got {heartbeat_period_ns}"
+            )
+        self.engine = engine
+        self.latency_ns = latency_ns
+        self.heartbeat_period_ns = heartbeat_period_ns
+        self.traps_delivered = 0
+
+    def detection_time(self, t_event: float) -> float:
+        """When the SM notices a state change that happened at ``t_event``."""
+        if self.heartbeat_period_ns is None:
+            return t_event + self.latency_ns
+        period = self.heartbeat_period_ns
+        next_tick = (math.floor(t_event / period) + 1) * period
+        return next_tick + self.latency_ns
+
+    def notice(self, callback: Callable[[], None], label: str = "trap") -> float:
+        """Deliver ``callback`` at the detection time for a change
+        happening *now*; returns that time."""
+        t = self.detection_time(self.engine.now)
+        self.engine.schedule(t, self._wrap(callback), label=label)
+        return t
+
+    def _wrap(self, callback: Callable[[], None]) -> Callable[[], None]:
+        def fire() -> None:
+            self.traps_delivered += 1
+            callback()
+
+        return fire
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        hb = self.heartbeat_period_ns
+        mode = f"heartbeat={hb}ns" if hb else "trap"
+        return f"TrapDetector({mode}, latency={self.latency_ns}ns)"

@@ -1,0 +1,468 @@
+"""The dynamic subnet manager: online failure handling in a live run.
+
+:class:`DynamicSubnetManager` wraps a built
+:class:`~repro.ib.subnet.Subnet` and a
+:class:`~repro.runtime.schedule.FaultSchedule` and drives the full
+failure lifecycle *inside* the discrete-event simulation:
+
+1. **Physical event** — at the scheduled time the affected
+   :class:`~repro.ib.link.Transmitter` pair is failed (in-flight
+   packet lost, buffered packets dropped, stale LFT entries keep
+   black-holing traffic into the dead port) or revived (flow control
+   restarts from the receiver's actual free slots).
+2. **Detection** — the SM learns about the change via the
+   :class:`~repro.runtime.detection.TrapDetector`
+   (``SimConfig.detection_latency_ns``, optional heartbeat
+   quantization).
+3. **Re-sweep** — the SM snapshots the fabric's current port state
+   (sweep semantics: simultaneous failures coalesce into one repair)
+   and computes target tables with
+   :class:`~repro.core.fault.FaultTolerantTables` — the exact offline
+   repair math — or, when every link is back, restores the cached
+   initial sweep tables bit-for-bit.
+4. **Delta programming** — only switches whose table moved are
+   reprogrammed, one ``SimConfig.sm_program_time_ns`` apart, through
+   the existing :attr:`SwitchModel.lft` swap path (which re-hoists the
+   dense forwarding array into every input unit).  The 0-based
+   paper-port → 1-based physical-port conversion is the Subnet
+   Manager's own (:meth:`repro.ib.sm.SubnetManager.program_delta`).
+5. **Metrics** — each completed re-route appends a
+   :class:`ReroutingRecord`; :meth:`DynamicSubnetManager.metrics`
+   summarizes time-to-detect, time-to-repair, packets lost, flows
+   rerouted and post-repair path-length inflation.
+
+Kernel coherence: the shared
+:class:`~repro.ib.artifacts.RoutingArtifacts` cache is never mutated
+(other subnets may hold the same instance); instead the manager owns a
+*live* :class:`~repro.core.kernel.RouteKernel`, invalidated on every
+reprogram and lazily recompiled from the switches' current LFTs by
+:meth:`DynamicSubnetManager.live_kernel`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.fault import FaultSet, FaultTolerantTables, LinkId, link_id
+from repro.core.kernel import RouteKernel
+from repro.ib.lft import LinearForwardingTable
+from repro.ib.link import Transmitter
+from repro.ib.sm import SubnetManager
+from repro.ib.subnet import Subnet
+from repro.runtime.detection import TrapDetector
+from repro.runtime.schedule import FaultEvent, FaultSchedule
+from repro.topology.labels import SwitchLabel
+
+__all__ = ["DynamicSubnetManager", "FailoverMetrics", "ReroutingRecord"]
+
+#: 0-based tables in the RoutingScheme.build_tables() shape.
+Tables = Dict[SwitchLabel, List[int]]
+
+
+@dataclass(frozen=True)
+class ReroutingRecord:
+    """One completed detection → repair cycle."""
+
+    kind: str  # "down" or "up"
+    t_event: float  # physical state change
+    t_detected: float  # SM awareness
+    t_repaired: float  # last delta-programmed switch done
+    faults_known: int  # failed links the re-sweep routed around
+    switches_programmed: int
+    entries_changed: int
+    flows_rerouted: int  # (src, dst) pairs whose selected path moved
+    path_inflation: float  # mean repaired/minimal hop ratio, 1.0 if none
+
+    @property
+    def time_to_detect(self) -> float:
+        return self.t_detected - self.t_event
+
+    @property
+    def time_to_repair(self) -> float:
+        return self.t_repaired - self.t_event
+
+
+@dataclass
+class FailoverMetrics:
+    """The failover metrics bundle of one simulation."""
+
+    records: List[ReroutingRecord] = field(default_factory=list)
+    packets_lost: int = 0
+
+    def as_row(self) -> dict:
+        """Flat summary row (report / CSV columns)."""
+        downs = [r for r in self.records if r.kind == "down"]
+        detect = [r.time_to_detect for r in self.records]
+        repair = [r.time_to_repair for r in self.records]
+        return {
+            "reroutes": len(self.records),
+            "time_to_detect": max(detect) if detect else math.nan,
+            "time_to_repair": max(repair) if repair else math.nan,
+            "packets_lost": self.packets_lost,
+            "flows_rerouted": max((r.flows_rerouted for r in downs), default=0),
+            "entries_changed": sum(r.entries_changed for r in self.records),
+            "path_inflation": max(
+                (r.path_inflation for r in downs), default=1.0
+            ),
+        }
+
+
+class DynamicSubnetManager:
+    """Online SM: failure detection, re-routing and path migration."""
+
+    def __init__(
+        self,
+        net: Subnet,
+        schedule: Optional[FaultSchedule] = None,
+        heartbeat_period_ns: Optional[float] = None,
+    ):
+        self.net = net
+        self.engine = net.engine
+        self.ft = net.ft
+        self.scheme = net.scheme
+        self.cfg = net.cfg
+        self.schedule = schedule if schedule is not None else FaultSchedule(net.ft)
+        if self.schedule.ft is not net.ft:
+            raise ValueError("schedule was built against a different fabric")
+        self.detector = TrapDetector(
+            net.engine, net.cfg.detection_latency_ns, heartbeat_period_ns
+        )
+        self.sm = SubnetManager(net.scheme)
+        #: physical state: links currently down.
+        self.down_links: Set[LinkId] = set()
+        #: the fault set the currently-programmed tables route around.
+        self.programmed_faults: frozenset = frozenset()
+        self.records: List[ReroutingRecord] = []
+        # Live tables mirrored in 0-based form for delta computation;
+        # the initial sweep's tables double as the recovery target, so
+        # full recovery restores the paper-optimal tables bit-for-bit.
+        self._live: Tables = {
+            sw: [p - 1 for p in model.lft._ports]
+            for sw, model in net.switches.items()
+        }
+        self._baseline: Tables = {sw: list(t) for sw, t in self._live.items()}
+        self._armed = False
+        # In-flight delta programming (one sweep at a time; a newer
+        # sweep supersedes an unfinished one).
+        self._pending_ctx: Optional[dict] = None
+        # Live-kernel coherence: bumped on every reprogram.
+        self._generation = 0
+        self._kernel: Optional[RouteKernel] = None
+        self._kernel_generation = -1
+
+    # ------------------------------------------------------------------
+    # Arming
+    # ------------------------------------------------------------------
+    def arm(self) -> int:
+        """Schedule every fault event on the engine; returns the count.
+
+        Call once, before running the simulation past the first event.
+        """
+        if self._armed:
+            raise RuntimeError("schedule already armed")
+        self._armed = True
+        events = self.schedule.sorted_events()
+        for event in events:
+            self.engine.schedule(
+                event.time,
+                lambda ev=event: self._fire(ev),
+                label=event.action,
+            )
+        return len(events)
+
+    def _fire(self, event: FaultEvent) -> None:
+        if event.action == "link_down":
+            self._link_down(event.link)
+        elif event.action == "link_up":
+            self._link_up(event.link)
+        elif event.action == "switch_down":
+            for link in self._switch_links(event.switch):
+                self._link_down(link, notice=False)
+            self._notice("down")
+        else:  # switch_up
+            for link in self._switch_links(event.switch):
+                self._link_up(link, notice=False)
+            self._notice("up")
+
+    def _switch_links(self, sw: SwitchLabel) -> List[LinkId]:
+        return [
+            link_id(sw, port, ep.switch, ep.port)
+            for port, ep in enumerate(self.ft.ports(sw))
+            if ep.is_switch
+        ]
+
+    # ------------------------------------------------------------------
+    # Physical state changes
+    # ------------------------------------------------------------------
+    def _directions(
+        self, link: LinkId
+    ) -> List[Tuple[Transmitter, SwitchLabel, int]]:
+        """Both (transmitter, receiving switch, receiving port) of a link."""
+        (a, ap), (b, bp) = tuple(link)
+        return [
+            (self.net.switches[a].tx[ap + 1], b, bp + 1),
+            (self.net.switches[b].tx[bp + 1], a, ap + 1),
+        ]
+
+    def _link_down(self, link: LinkId, notice: bool = True) -> None:
+        if link in self.down_links:
+            return
+        self.down_links.add(link)
+        for tx, _, _ in self._directions(link):
+            tx.fail()
+        if notice:
+            self._notice("down")
+
+    def _link_up(self, link: LinkId, notice: bool = True) -> None:
+        if link not in self.down_links:
+            return
+        self.down_links.discard(link)
+        for tx, peer, phys in self._directions(link):
+            # Link retraining: credits restart from the peer input
+            # unit's actual free slots (packets that arrived before the
+            # failure may still be queued there).
+            rx = self.net.switches[peer].rx[phys]
+            tx.revive([buf.free_slots for buf in rx.buffers])
+        if notice:
+            self._notice("up")
+
+    # ------------------------------------------------------------------
+    # Detection → re-sweep → delta programming
+    # ------------------------------------------------------------------
+    def _notice(self, kind: str) -> None:
+        t_event = self.engine.now
+        self.detector.notice(
+            lambda: self._resweep(kind, t_event), label=f"detect-{kind}"
+        )
+
+    def _resweep(self, kind: str, t_event: float) -> None:
+        """SM awareness fired: sweep port state, repair, program deltas."""
+        t_detected = self.engine.now
+        known = frozenset(self.down_links)  # sweep sees the live fabric
+        if known == self.programmed_faults:
+            # The last sweep — completed or still programming — already
+            # targets exactly this fault set (e.g. a second trap for a
+            # coalesced multi-link event): detected, zero delta.
+            self._finish_record(
+                kind, t_event, t_detected, t_detected, known, {}, {}
+            )
+            return
+        self._abort_pending()  # a newer sweep supersedes an unfinished one
+        target = self._target_tables(known)
+        before = {sw: list(t) for sw, t in self._live.items()}
+        deltas = self.sm.program_delta(self._live, target)
+        self.programmed_faults = known
+        if not deltas:
+            self._finish_record(
+                kind, t_event, t_detected, t_detected, known, {}, before
+            )
+            return
+        # Program switch-by-switch: one MAD round per modified switch,
+        # serially (fabric order is deterministic — program_delta
+        # guarantees it).
+        ctx = {
+            "kind": kind,
+            "t_event": t_event,
+            "t_detected": t_detected,
+            "known": known,
+            "before": before,
+            "items": list(deltas.items()),
+            "programmed": 0,
+            "events": [],
+        }
+        self._pending_ctx = ctx
+        step = self.cfg.sm_program_time_ns
+        for i, (sw, (lft, _changed)) in enumerate(ctx["items"]):
+            ctx["events"].append(
+                self.engine.schedule(
+                    t_detected + (i + 1) * step,
+                    lambda c=ctx, s=sw, table=lft: self._program_step(
+                        c, s, table
+                    ),
+                    label="sm-program",
+                )
+            )
+
+    def _target_tables(self, known: frozenset) -> Tables:
+        """0-based tables the SM wants programmed for a fault set."""
+        if not known:
+            # Full recovery: restore the initial sweep, bit-for-bit.
+            return {sw: list(t) for sw, t in self._baseline.items()}
+        ftt = FaultTolerantTables(self.scheme, FaultSet(links=known))
+        return ftt.tables
+
+    def _program_step(
+        self, ctx: dict, sw: SwitchLabel, table: LinearForwardingTable
+    ) -> None:
+        """One SubnSet: swap the switch's LFT through the normal path."""
+        self.net.switches[sw].lft = table
+        self._live[sw] = [p - 1 for p in table._ports]
+        self._generation += 1  # live kernel is stale now
+        ctx["programmed"] += 1
+        if ctx["programmed"] == len(ctx["items"]):
+            self._pending_ctx = None
+            self._complete_record(ctx)
+
+    def _abort_pending(self) -> None:
+        """Cancel an unfinished delta program (superseded by a newer
+        sweep); the switches it did reach stay programmed and are
+        recorded, the rest will be covered by the new sweep's delta."""
+        ctx = self._pending_ctx
+        if ctx is None:
+            return
+        for event in ctx["events"]:
+            event.cancel()
+        self._pending_ctx = None
+        self._complete_record(ctx)
+
+    def _complete_record(self, ctx: dict) -> None:
+        deltas = dict(ctx["items"][: ctx["programmed"]])
+        self._finish_record(
+            ctx["kind"],
+            ctx["t_event"],
+            ctx["t_detected"],
+            self.engine.now,
+            ctx["known"],
+            deltas,
+            ctx["before"],
+        )
+
+    def _finish_record(
+        self,
+        kind: str,
+        t_event: float,
+        t_detected: float,
+        t_repaired: float,
+        known: frozenset,
+        deltas: Dict[SwitchLabel, Tuple[LinearForwardingTable, int]],
+        before: Tables,
+    ) -> None:
+        flows, inflation = (
+            self._migration_stats(before, known) if deltas else (0, 1.0)
+        )
+        self.records.append(
+            ReroutingRecord(
+                kind=kind,
+                t_event=t_event,
+                t_detected=t_detected,
+                t_repaired=t_repaired,
+                faults_known=len(known),
+                switches_programmed=len(deltas),
+                entries_changed=sum(c for _, c in deltas.values()),
+                flows_rerouted=flows,
+                path_inflation=inflation,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Migration statistics
+    # ------------------------------------------------------------------
+    def _walk(
+        self, tables: Tables, src_pid: int, dlid: int, max_hops: int
+    ) -> Optional[List[Tuple[SwitchLabel, int]]]:
+        """(switch, port) sequence of one table walk, None on non-delivery."""
+        ft = self.ft
+        sw = ft.node_attachment(ft.node_from_pid(src_pid)).switch
+        path: List[Tuple[SwitchLabel, int]] = []
+        for _ in range(max_hops):
+            port = tables[sw][dlid - 1]
+            path.append((sw, port))
+            ep = ft.peer(sw, port)
+            if ep.is_node:
+                return path
+            sw = ep.switch
+        return None
+
+    def _migration_stats(
+        self, before: Tables, known: frozenset
+    ) -> Tuple[int, float]:
+        """How many flows moved, and how much longer their paths got.
+
+        A *flow* is a (src, dst) pair; its path is the walk of the
+        selected DLID through the tables.  Inflation compares the new
+        path length against the fault-free minimal one (the baseline
+        tables), averaged over rerouted flows.
+        """
+        changed_lids = {
+            lid
+            for sw, old in before.items()
+            for lid, (a, b) in enumerate(zip(old, self._live[sw]), start=1)
+            if a != b
+        }
+        if not changed_lids:
+            return 0, 1.0
+        max_hops = 2 * self.ft.n + 2 * max(1, len(known)) + 2
+        num = self.ft.num_nodes
+        flows = 0
+        ratios: List[float] = []
+        for src in range(num):
+            for dst in range(num):
+                if src == dst:
+                    continue
+                dlid = self.net.dlid_for(src, dst)
+                if dlid not in changed_lids:
+                    continue
+                old = self._walk(before, src, dlid, max_hops)
+                new = self._walk(self._live, src, dlid, max_hops)
+                if old == new:
+                    continue
+                flows += 1
+                if new is not None:
+                    base = self._walk(self._baseline, src, dlid, max_hops)
+                    ratios.append(len(new) / len(base))
+        inflation = sum(ratios) / len(ratios) if ratios else 1.0
+        return flows, inflation
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def live_kernel(self) -> RouteKernel:
+        """Route kernel compiled from the *current* switch LFTs.
+
+        Invalidated by every reprogram and recompiled lazily, so static
+        analyses stay coherent with what the fabric actually forwards
+        with.  The shared :mod:`repro.ib.artifacts` cache is left
+        untouched — its kernel describes the fault-free tables.
+
+        Note the kernel's hop budget is the fault-free bound
+        (``2n + 2``); on deep trees a repaired route that detours past
+        it shows up as undelivered rather than raising.
+        """
+        if self._kernel is None or self._kernel_generation != self._generation:
+            lfts = {sw: model.lft for sw, model in self.net.switches.items()}
+            self._kernel = RouteKernel.from_lfts(self.scheme, lfts)
+            self._kernel_generation = self._generation
+        return self._kernel
+
+    @property
+    def generation(self) -> int:
+        """Bumped once per reprogrammed switch; 0 until the first delta."""
+        return self._generation
+
+    def packets_lost(self) -> int:
+        """Packets dropped on dead links so far, fabric-wide."""
+        total = sum(
+            tx.packets_dropped
+            for model in self.net.switches.values()
+            for tx in model.tx.values()
+        )
+        total += sum(node.tx.packets_dropped for node in self.net.endnodes)
+        return total
+
+    def metrics(self) -> FailoverMetrics:
+        """The metrics bundle accumulated so far."""
+        return FailoverMetrics(
+            records=list(self.records), packets_lost=self.packets_lost()
+        )
+
+    def live_lfts(self) -> Dict[SwitchLabel, LinearForwardingTable]:
+        """The LFT instances the switches currently forward with."""
+        return {sw: model.lft for sw, model in self.net.switches.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DynamicSubnetManager(down={len(self.down_links)}, "
+            f"reroutes={len(self.records)}, generation={self._generation})"
+        )

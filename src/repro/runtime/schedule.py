@@ -1,0 +1,145 @@
+"""Fault timelines: which links/switches go down (and come back) when.
+
+A :class:`FaultSchedule` is the declarative input of the dynamic
+subnet manager: an ordered list of :class:`FaultEvent` entries, each
+downing or recovering one switch-to-switch link or one whole (non-leaf)
+switch at an absolute simulated time.  The schedule is built against a
+:class:`~repro.topology.fattree.FatTree` so targets are validated at
+construction, not at fire time:
+
+* node-to-leaf links are rejected (losing one disconnects the node
+  outright — same rule as :class:`repro.core.fault.FaultSet`);
+* leaf switches cannot be downed (their node links would go with them).
+
+Times use the engine's clock (nanoseconds).  Events at the same time
+fire in insertion order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.core.fault import LinkId, link_id
+from repro.topology.fattree import FatTree
+from repro.topology.labels import SwitchLabel, format_switch
+
+__all__ = ["FaultEvent", "FaultSchedule"]
+
+#: Valid event actions.
+ACTIONS = ("link_down", "link_up", "switch_down", "switch_up")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled state change of the physical fabric."""
+
+    time: float
+    action: str
+    link: Optional[LinkId] = None
+    switch: Optional[SwitchLabel] = None
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ValueError(f"unknown fault action {self.action!r}")
+        if self.time < 0:
+            raise ValueError(f"event time must be non-negative, got {self.time}")
+        is_link = self.action.startswith("link")
+        if is_link and (self.link is None or self.switch is not None):
+            raise ValueError(f"{self.action} events carry a link, not a switch")
+        if not is_link and (self.switch is None or self.link is not None):
+            raise ValueError(f"{self.action} events carry a switch, not a link")
+
+    def describe(self) -> str:
+        if self.link is not None:
+            (a, ap), (b, bp) = sorted(self.link, key=str)
+            what = f"{format_switch(*a)}[{ap}] <-> {format_switch(*b)}[{bp}]"
+        else:
+            what = format_switch(*self.switch)
+        return f"t={self.time:.0f}ns {self.action} {what}"
+
+
+class FaultSchedule:
+    """Ordered fault timeline for one fat-tree fabric."""
+
+    def __init__(self, ft: FatTree):
+        self.ft = ft
+        self.events: List[FaultEvent] = []
+
+    # ------------------------------------------------------------------
+    def _resolve_link(self, sw: SwitchLabel, port: int) -> LinkId:
+        ep = self.ft.peer(sw, port)
+        if not ep.is_switch:
+            raise ValueError(
+                f"{format_switch(*sw)} port {port} attaches a node; node "
+                "links cannot be failed (the node would be unreachable)"
+            )
+        return link_id(sw, port, ep.switch, ep.port)
+
+    def _check_switch(self, sw: SwitchLabel) -> SwitchLabel:
+        if sw not in self.ft._switch_index:
+            raise ValueError(f"unknown switch {sw!r}")
+        if sw[1] == self.ft.n - 1:
+            raise ValueError(
+                f"{format_switch(*sw)} is a leaf switch; downing it would "
+                "take its node links, which cannot be routed around"
+            )
+        return sw
+
+    def _add(self, event: FaultEvent) -> "FaultSchedule":
+        self.events.append(event)
+        return self
+
+    # ------------------------------------------------------------------
+    # Builders (chainable)
+    # ------------------------------------------------------------------
+    def link_down(self, time: float, sw: SwitchLabel, port: int) -> "FaultSchedule":
+        """Fail the link out of ``(sw, 0-based port)`` at ``time``."""
+        return self._add(
+            FaultEvent(time, "link_down", link=self._resolve_link(sw, port))
+        )
+
+    def link_up(self, time: float, sw: SwitchLabel, port: int) -> "FaultSchedule":
+        """Recover the link out of ``(sw, 0-based port)`` at ``time``."""
+        return self._add(
+            FaultEvent(time, "link_up", link=self._resolve_link(sw, port))
+        )
+
+    def switch_down(self, time: float, sw: SwitchLabel) -> "FaultSchedule":
+        """Fail every link of a non-leaf switch at ``time``."""
+        return self._add(
+            FaultEvent(time, "switch_down", switch=self._check_switch(sw))
+        )
+
+    def switch_up(self, time: float, sw: SwitchLabel) -> "FaultSchedule":
+        """Recover every link of a non-leaf switch at ``time``."""
+        return self._add(
+            FaultEvent(time, "switch_up", switch=self._check_switch(sw))
+        )
+
+    def fail_and_recover(
+        self, sw: SwitchLabel, port: int, t_down: float, t_up: float
+    ) -> "FaultSchedule":
+        """Convenience: one link-down/link-up pair."""
+        if t_up <= t_down:
+            raise ValueError(f"recovery at t={t_up} must follow failure at t={t_down}")
+        return self.link_down(t_down, sw, port).link_up(t_up, sw, port)
+
+    # ------------------------------------------------------------------
+    def sorted_events(self) -> List[FaultEvent]:
+        """Events in firing order (time, then insertion order)."""
+        return [
+            event
+            for _, _, event in sorted(
+                (event.time, i, event) for i, event in enumerate(self.events)
+            )
+        ]
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.sorted_events())
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultSchedule({len(self.events)} events)"

@@ -139,6 +139,69 @@ class TestMultipleFailures:
         verify_all_pairs(ftt, ft, scheme)
 
 
+class TestTieBreakRotation:
+    """The repair's DLID rotation over equal-cost surviving ports."""
+
+    def fail_first_root_link(self, name):
+        ft0 = FatTree(8, 2)
+        root = ft0.switches_at_level(0)[0]
+        faults = FaultSet.from_pairs(ft0, [(root, 0)])
+        ftt, ft, scheme = repaired(8, 2, name, faults)
+        return root, ftt, ft, scheme
+
+    @pytest.mark.parametrize("name", ["mlid", "slid"])
+    def test_deterministic_across_runs(self, name):
+        """Two independent repairs of one fault set are bit-identical
+        (no hidden randomness in the tie-break)."""
+        _, first, _, _ = self.fail_first_root_link(name)
+        _, second, _, _ = self.fail_first_root_link(name)
+        assert first.tables == second.tables
+
+    @pytest.mark.parametrize("name", ["mlid", "slid"])
+    def test_rotation_formula_at_source_leaves(self, name):
+        """Repaired up entries follow candidates[(lid-1) % len] over the
+        equal-cost surviving up ports, in port order."""
+        root, ftt, ft, scheme = self.fail_first_root_link(name)
+        original = scheme.build_tables()
+        victim_leaf = ft.peer(root, 0).switch
+        checked = 0
+        for leaf in ft.switches_at_level(1):
+            if leaf == victim_leaf:
+                continue
+            # Equal-cost survivors: every up port except the one whose
+            # root can no longer descend to the victim leaf.
+            candidates = [
+                p for p in ft.up_ports(leaf) if ft.peer(leaf, p).switch != root
+            ]
+            for lid in range(1, scheme.num_lids + 1):
+                entry, orig = ftt.tables[leaf][lid - 1], original[leaf][lid - 1]
+                if entry == orig:
+                    continue
+                assert entry == candidates[(lid - 1) % len(candidates)]
+                checked += 1
+        assert checked > 0
+
+    def test_rotation_spreads_over_surviving_ports(self):
+        """Rerouted DLIDs do not pile onto one surviving port: the
+        rotation lands on at least two distinct ports per leaf."""
+        root, ftt, ft, scheme = self.fail_first_root_link("mlid")
+        original = scheme.build_tables()
+        victim_leaf = ft.peer(root, 0).switch
+        leaves_with_moves = 0
+        for leaf in ft.switches_at_level(1):
+            if leaf == victim_leaf:
+                continue
+            moved = {
+                ftt.tables[leaf][lid - 1]
+                for lid in range(1, scheme.num_lids + 1)
+                if ftt.tables[leaf][lid - 1] != original[leaf][lid - 1]
+            }
+            if moved:
+                leaves_with_moves += 1
+                assert len(moved) >= 2, f"leaf {leaf} concentrated on {moved}"
+        assert leaves_with_moves > 0
+
+
 class TestDisconnection:
     def test_all_up_links_of_leaf_disconnects(self):
         """Killing every up link of a leaf strands its nodes."""

@@ -150,3 +150,107 @@ def test_different_packet_sizes_serialize_proportionally():
     eng.run()
     times = [t for t, _ in rx.got]
     assert times == [20.0, 20.0 + 64.0]
+
+
+class TestFailRevive:
+    """Dead-link semantics (runtime failure injection)."""
+
+    def test_accept_on_dead_link_drops(self):
+        eng, cfg, tx, rx = make_tx()
+        tx.fail()
+        tx.accept(pkt())
+        eng.run()
+        assert rx.got == []
+        assert tx.packets_dropped == 1
+
+    def test_fail_cancels_in_flight_packet(self):
+        eng, cfg, tx, rx = make_tx()
+        tx.accept(pkt())
+        # Kill the wire while the header is still flying.
+        eng.schedule(cfg.flying_time_ns / 2, tx.fail)
+        eng.run()
+        assert rx.got == []
+        assert tx.packets_dropped == 1
+
+    def test_fail_after_header_arrival_is_not_a_loss(self):
+        """A packet whose header already crossed belongs to the
+        receiver; failing during tail serialization must not count it
+        dropped too (that would double-count it as delivered + lost)."""
+        eng, cfg, tx, rx = make_tx()
+        tx.accept(pkt(size=256))  # header at 20ns, tail done at 256ns
+        eng.schedule(100.0, tx.fail)
+        eng.run()
+        assert len(rx.got) == 1
+        assert tx.packets_dropped == 0
+        assert tx.packets_sent == 1
+
+    def test_fail_drops_buffered_packets(self):
+        eng, cfg, tx, rx = make_tx(buffer_packets_per_vl=3)
+        for _ in range(3):
+            tx.accept(pkt())
+        tx.fail()
+        eng.run()
+        assert rx.got == []
+        assert tx.packets_dropped == 3
+        assert all(len(buf) == 0 for buf in tx.buffers)
+
+    def test_dead_link_reports_can_accept(self):
+        """Stale LFT entries must black-hole, not wedge the crossbar:
+        a dead transmitter accepts (and drops) anything offered."""
+        eng, cfg, tx, rx = make_tx()
+        tx.accept(pkt())  # buffer full (capacity 1)
+        assert not tx.can_accept(0)
+        tx.fail()
+        assert tx.can_accept(0)
+
+    def test_fail_drains_waiters(self):
+        """Blocked crossbar requesters are released synchronously so
+        upstream input units never wedge on a dead output."""
+        eng, cfg, tx, rx = make_tx()
+        tx.accept(pkt())  # buffer full: next requester must wait
+        calls = []
+        tx.waiters[0].append(lambda: calls.append("released"))
+        tx.fail()
+        assert calls == ["released"]
+        assert not tx.waiters[0]
+
+    def test_credit_return_ignored_while_dead(self):
+        eng, cfg, tx, rx = make_tx()
+        tx.accept(pkt())
+        eng.run()
+        tx.fail()
+        tx.credit_return(0)  # lost on the dead wire
+        assert tx.credits[0].available == 0
+
+    def test_fail_idempotent(self):
+        eng, cfg, tx, rx = make_tx()
+        tx.fail()
+        tx.fail()
+        assert not tx.alive
+
+    def test_revive_restores_delivery(self):
+        eng, cfg, tx, rx = make_tx()
+        tx.fail()
+        tx.accept(pkt())  # dropped
+        tx.revive()
+        assert tx.alive
+        tx.accept(pkt())
+        eng.run()
+        assert len(rx.got) == 1
+
+    def test_revive_resets_credits_to_free_slots(self):
+        """Link retraining: flow control restarts from the receiver's
+        actual free space, not blindly from full capacity."""
+        eng, cfg, tx, rx = make_tx(buffer_packets_per_vl=4)
+        tx.fail()
+        tx.revive([1])
+        assert tx.credits[0].available == 1
+        assert tx.credits[0].initial == 4
+
+    def test_revive_on_alive_link_is_noop(self):
+        eng, cfg, tx, rx = make_tx()
+        tx.accept(pkt())
+        eng.run()
+        avail = tx.credits[0].available
+        tx.revive()
+        assert tx.credits[0].available == avail

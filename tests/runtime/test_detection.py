@@ -1,0 +1,48 @@
+"""Tests for the trap/heartbeat detection model."""
+
+import pytest
+
+from repro.runtime.detection import TrapDetector
+from repro.sim.engine import Engine
+
+
+def test_trap_mode_adds_latency():
+    det = TrapDetector(Engine(), latency_ns=500.0)
+    assert det.detection_time(1000.0) == 1500.0
+
+
+def test_zero_latency_trap_is_instant():
+    det = TrapDetector(Engine(), latency_ns=0.0)
+    assert det.detection_time(1000.0) == 1000.0
+
+
+def test_heartbeat_quantizes_to_next_sweep():
+    det = TrapDetector(Engine(), latency_ns=100.0, heartbeat_period_ns=1000.0)
+    # Event at 250 -> next sweep at 1000 -> +latency.
+    assert det.detection_time(250.0) == 1100.0
+    # An event exactly on a sweep boundary is seen by the *next* sweep.
+    assert det.detection_time(1000.0) == 2100.0
+
+
+def test_negative_latency_rejected():
+    with pytest.raises(ValueError):
+        TrapDetector(Engine(), latency_ns=-1.0)
+
+
+def test_nonpositive_heartbeat_rejected():
+    with pytest.raises(ValueError):
+        TrapDetector(Engine(), latency_ns=0.0, heartbeat_period_ns=0.0)
+
+
+def test_notice_schedules_callback_and_counts():
+    eng = Engine()
+    det = TrapDetector(eng, latency_ns=500.0)
+    fired = []
+
+    def go():
+        eng.schedule(100.0, lambda: det.notice(lambda: fired.append(eng.now)))
+
+    go()
+    eng.run()
+    assert fired == [600.0]
+    assert det.traps_delivered == 1

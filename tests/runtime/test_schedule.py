@@ -1,0 +1,85 @@
+"""Tests for the fault-event schedule."""
+
+import pytest
+
+from repro.runtime.schedule import FaultEvent, FaultSchedule
+
+
+class TestFaultEvent:
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError, match="action"):
+            FaultEvent(time=0.0, action="explode")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="time"):
+            FaultEvent(time=-1.0, action="link_down", link=frozenset())
+
+    def test_link_action_requires_link(self):
+        with pytest.raises(ValueError):
+            FaultEvent(time=0.0, action="link_down")
+
+    def test_switch_action_requires_switch(self):
+        with pytest.raises(ValueError):
+            FaultEvent(time=0.0, action="switch_down", link=frozenset())
+
+    def test_describe_mentions_action(self, ft42):
+        sched = FaultSchedule(ft42).link_down(
+            5.0, ft42.switches_at_level(0)[0], 0
+        )
+        assert "link_down" in sched.sorted_events()[0].describe()
+
+
+class TestFaultSchedule:
+    def test_builders_chain(self, ft42):
+        root = ft42.switches_at_level(0)[0]
+        sched = (
+            FaultSchedule(ft42)
+            .link_down(10.0, root, 0)
+            .link_up(20.0, root, 0)
+            .switch_down(30.0, root)
+            .switch_up(40.0, root)
+        )
+        assert len(sched) == 4
+        assert [e.action for e in sched.sorted_events()] == [
+            "link_down",
+            "link_up",
+            "switch_down",
+            "switch_up",
+        ]
+
+    def test_fail_and_recover_is_two_events(self, ft42):
+        root = ft42.switches_at_level(0)[0]
+        sched = FaultSchedule(ft42).fail_and_recover(root, 0, 10.0, 50.0)
+        events = sched.sorted_events()
+        assert [e.action for e in events] == ["link_down", "link_up"]
+        assert events[0].link == events[1].link
+
+    def test_sorted_events_stable_at_equal_times(self, ft42):
+        """Two events at one instant keep insertion order (the repair
+        coalesces them into one sweep, so order still matters for the
+        physical state updates)."""
+        root = ft42.switches_at_level(0)[0]
+        sched = (
+            FaultSchedule(ft42)
+            .link_down(10.0, root, 1)
+            .link_down(10.0, root, 0)
+        )
+        events = sched.sorted_events()
+        assert ft42.peer(root, 1).switch in {s for s, _ in events[0].link}
+
+    def test_node_link_rejected(self, ft42):
+        leaf = ft42.node_attachment(ft42.node_from_pid(0)).switch
+        down = ft42.down_ports(leaf)[0]
+        with pytest.raises(ValueError, match="node"):
+            FaultSchedule(ft42).link_down(0.0, leaf, down)
+
+    def test_unknown_switch_rejected(self, ft42):
+        with pytest.raises(ValueError):
+            FaultSchedule(ft42).switch_down(0.0, (99, 99))
+
+    def test_leaf_switch_down_rejected(self, ft42):
+        """Downing a whole leaf strands its nodes — not a repairable
+        fault, so the schedule refuses it up front."""
+        leaf = ft42.node_attachment(ft42.node_from_pid(0)).switch
+        with pytest.raises(ValueError, match="leaf"):
+            FaultSchedule(ft42).switch_down(0.0, leaf)

@@ -207,3 +207,40 @@ def test_draw(capsys):
     assert main(["draw", "4", "2"]) == 0
     out = capsys.readouterr().out
     assert "SW<0, 0>" in out and "P(31)" in out
+
+
+def test_failover(capsys):
+    args = [
+        "failover", "8", "2",
+        "--detect-latency", "0", "--program-time", "0",
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "time-to-detect" in out
+    assert "time-to-repair" in out
+    assert "packets lost" in out
+    assert "offline core.fault repair : OK" in out
+    assert "initial SM sweep : OK" in out
+
+
+def test_failover_under_load(capsys):
+    assert main(["failover", "4", "2", "--load", "0.3"]) == 0
+    out = capsys.readouterr().out
+    assert "delivery" in out
+    assert "OK" in out
+
+
+def test_failover_explicit_link(capsys):
+    args = [
+        "failover", "4", "2",
+        "--switch", "1", "--level", "0", "--port", "1",
+        "--scheme", "slid",
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "slid" in out
+
+
+def test_failover_bad_times_rejected():
+    with pytest.raises(SystemExit):
+        main(["failover", "4", "2", "--fail-at", "500", "--recover-at", "400"])
