@@ -177,7 +177,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         args.scheme,
         args.pattern,
         loads,
-        cfg=SimConfig(num_vls=args.vls),
+        cfg=SimConfig(num_vls=args.vls, engine=args.engine),
         warmup_ns=args.warmup,
         measure_ns=args.measure,
         seeds=seeds,
@@ -214,7 +214,9 @@ def _cmd_probe(args: argparse.Namespace) -> int:
     from repro.ib.subnet import build_subnet
     from repro.traffic import make_pattern
 
-    net = build_subnet(args.m, args.n, args.scheme, SimConfig(num_vls=args.vls))
+    net = build_subnet(
+        args.m, args.n, args.scheme, SimConfig(num_vls=args.vls, engine=args.engine)
+    )
     kwargs = {"hot_pid": 0, "fraction": 0.5} if args.pattern == "centric" else {}
     net.attach_pattern(make_pattern(args.pattern, net.num_nodes, **kwargs))
     res = net.run_measurement(args.load, warmup_ns=15_000, measure_ns=60_000)
@@ -277,6 +279,7 @@ def _cmd_failover(args: argparse.Namespace) -> int:
     cfg = SimConfig(
         detection_latency_ns=args.detect_latency,
         sm_program_time_ns=args.program_time,
+        engine=args.engine,
     )
     ft = FatTree(args.m, args.n)
     if args.switch is not None:
@@ -413,6 +416,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the sweep points (default: 1, serial)",
     )
     p.add_argument("--csv", help="also write the points to a CSV file")
+    p.add_argument(
+        "--engine",
+        default="wheel",
+        choices=["wheel", "heap"],
+        help="event-scheduler backend (bit-identical results; see DESIGN.md §9)",
+    )
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("draw", help="ASCII diagram of FT(m, n)")
@@ -428,6 +437,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pattern", default="uniform")
     p.add_argument("--load", type=float, default=0.3)
     p.add_argument("--vls", type=int, default=1)
+    p.add_argument(
+        "--engine",
+        default="wheel",
+        choices=["wheel", "heap"],
+        help="event-scheduler backend (bit-identical results; see DESIGN.md §9)",
+    )
     p.set_defaults(func=_cmd_probe)
 
     p = sub.add_parser("faults", help="repair tables around random link failures")
@@ -480,6 +495,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--pattern", default="uniform")
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--engine",
+        default="wheel",
+        choices=["wheel", "heap"],
+        help="event-scheduler backend (bit-identical results; see DESIGN.md §9)",
+    )
     p.set_defaults(func=_cmd_failover)
 
     p = sub.add_parser("list", help="list experiments, schemes, patterns")

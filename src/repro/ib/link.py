@@ -43,10 +43,16 @@ from typing import Callable, Deque, List, Optional
 
 from repro.ib.buffers import VlBuffer
 from repro.ib.config import SimConfig
+from repro.ib.fastpath import HopEvent
+from repro.ib.fastpath import _start_tx as fastpath_start_tx
+from repro.ib.fastpath import send as fastpath_send
 from repro.ib.flowcontrol import CreditAccount
 from repro.ib.packet import Packet
 from repro.ib.vl_arbitration import VlArbitrationTable, WeightedVlArbiter
 from repro.sim.engine import Engine
+from repro.sim.wheel import _G as _WG
+from repro.sim.wheel import _M0 as _WM0
+from repro.sim.wheel import _SPAN0 as _WSPAN0
 
 __all__ = ["Transmitter"]
 
@@ -70,6 +76,10 @@ class Transmitter:
         "busy_time",
         "_last_start",
         "_single_vl",
+        "_fifo0",
+        "_fifos",
+        "_cap",
+        "_acct0",
         "_flying_ns",
         "_byte_ns",
         "alive",
@@ -77,6 +87,10 @@ class Transmitter:
         "_deliver_ev",
         "_tail_ev",
         "_wire_vl",
+        "_fused",
+        "_deliver_time",
+        "_deliver_seq",
+        "_tail_seq",
     )
 
     def __init__(self, engine: Engine, cfg: SimConfig, name: str = ""):
@@ -109,6 +123,10 @@ class Transmitter:
         self._last_start = 0.0
         # Hot-loop constants, hoisted out of the per-packet path.
         self._single_vl = cfg.num_vls == 1 and self.arbiter is None
+        self._fifo0 = self.buffers[0]._fifo
+        self._fifos = [buf._fifo for buf in self.buffers]
+        self._cap = cfg.buffer_packets_per_vl
+        self._acct0 = self.credits[0]
         self._flying_ns = cfg.flying_time_ns
         self._byte_ns = cfg.byte_time_ns
         # Link state (runtime failure injection).
@@ -117,11 +135,23 @@ class Transmitter:
         self._deliver_ev = None
         self._tail_ev = None
         self._wire_vl = 0
+        # Fused hop fast path (repro.ib.fastpath): enabled by connect()
+        # when the engine backend supports it and the receiver is a
+        # real InputUnit/Endnode.  _deliver_time mirrors the deliver
+        # event's timestamp; the seq tokens identify the current
+        # incarnation of the pooled deliver/tail events for fail().
+        self._fused = False
+        self._deliver_time = 0.0
+        self._deliver_seq = -1
+        self._tail_seq = -1
 
     # ------------------------------------------------------------------
     def connect(self, receiver: object) -> None:
         """Attach the receiving side (must expose ``receive(packet)``)."""
         self.receiver = receiver
+        self._fused = self.engine.fused and (
+            getattr(receiver, "_is_input_unit", None) is not None
+        )
 
     def can_accept(self, vl: int) -> bool:
         """Space in the output buffer for ``vl``?
@@ -141,6 +171,65 @@ class Transmitter:
             self.packets_dropped += 1
             return
         self.buffers[packet.vl].push(packet)
+        if self._fused:
+            # Fused kick (same single-VL logic, the _start_tx success
+            # body inlined — see repro.ib.fastpath); the wire-busy and
+            # credit prechecks skip calls kick would no-op on.
+            if not self._wire_busy:
+                if self._single_vl:
+                    acct = self._acct0
+                    avail = acct.available
+                    if avail > 0:
+                        fifo = self._fifo0
+                        sp = fifo[0]
+                        acct.available = avail - 1
+                        self._wire_busy = True
+                        eng = self.engine
+                        now = eng.now
+                        self._last_start = now
+                        if sp.t_injected < 0:
+                            sp.t_injected = now
+                        t = now + self._flying_ns
+                        self._deliver_time = t
+                        pool = eng.hop_pool
+                        hop = pool.pop() if pool else HopEvent(pool)
+                        receiver = self.receiver
+                        hop.packet = sp
+                        if receiver._is_input_unit:
+                            hop.unit = receiver
+                            cb = hop.deliver_switch_cb
+                        else:
+                            hop.node = receiver
+                            cb = hop.deliver_node_cb
+                        seq = eng._seq + 1
+                        eng._seq = seq
+                        hop.seq = seq
+                        hop.cancelled = False
+                        cur = eng._cur
+                        si = int(t) >> _WG
+                        if 0 <= si - cur < _WSPAN0:
+                            eng._l0[si & _WM0].append((t, seq, hop, cb))
+                        else:
+                            eng._insert((t, seq, hop, cb), si)
+                        self._deliver_ev = hop
+                        self._deliver_seq = seq
+                        tail = pool.pop() if pool else HopEvent(pool)
+                        tail.tx = self
+                        seq += 1
+                        eng._seq = seq
+                        t = now + sp.size_bytes * self._byte_ns
+                        tail.seq = seq
+                        tail.cancelled = False
+                        si = int(t) >> _WG
+                        if 0 <= si - cur < _WSPAN0:
+                            eng._l0[si & _WM0].append((t, seq, tail, tail.tail_cb))
+                        else:
+                            eng._insert((t, seq, tail, tail.tail_cb), si)
+                        self._tail_ev = tail
+                        self._tail_seq = seq
+                else:
+                    self.kick()
+            return
         self.kick()
 
     def credit_return(self, vl: int) -> None:
@@ -151,6 +240,10 @@ class Transmitter:
         if not self.alive:
             return
         self.credits[vl].restore()
+        if self._fused:
+            if not self._wire_busy:
+                fastpath_start_tx(self)
+            return
         self.kick()
 
     # ------------------------------------------------------------------
@@ -180,6 +273,10 @@ class Transmitter:
         self._last_start = now
         if packet.t_injected < 0:
             packet.t_injected = now
+        self._deliver_time = now + self._flying_ns
+        if self._fused:
+            fastpath_send(self, packet, vl)
+            return
         receiver = self.receiver
         # The two event refs let fail() lose the in-flight packet;
         # cancelling an already-fired event is a harmless no-op, so
@@ -238,17 +335,32 @@ class Transmitter:
         # Whether the on-wire packet's header already crossed: a fired
         # event keeps time < now (same-time events still in the queue
         # run after this one — FIFO — so cancelling them works).
+        # _deliver_time mirrors the deliver event's timestamp on both
+        # paths; nothing but fail() (idempotent) ever cancels it, so
+        # the oracle's not-cancelled term is vacuous here.
         header_arrived = (
             self._deliver_ev is not None
-            and not self._deliver_ev.cancelled
-            and self._deliver_ev.time < self.engine.now
+            and self._deliver_time < self.engine.now
         )
-        if self._deliver_ev is not None:
-            self._deliver_ev.cancel()
+        if self._fused:
+            # Pooled events: cancel only our own incarnation — the seq
+            # token moves on when a pooled object is rescheduled or
+            # reused, which is exactly when the oracle's cancel would
+            # have been a fired-event no-op.
+            deliver, tail = self._deliver_ev, self._tail_ev
+            if deliver is not None and deliver.seq == self._deliver_seq:
+                deliver.cancelled = True
+            if tail is not None and tail.seq == self._tail_seq:
+                tail.cancelled = True
             self._deliver_ev = None
-        if self._tail_ev is not None:
-            self._tail_ev.cancel()
             self._tail_ev = None
+        else:
+            if self._deliver_ev is not None:
+                self._deliver_ev.cancel()
+                self._deliver_ev = None
+            if self._tail_ev is not None:
+                self._tail_ev.cancel()
+                self._tail_ev = None
         if self._wire_busy:
             self.busy_time += self.engine.now - self._last_start
             self._wire_busy = False

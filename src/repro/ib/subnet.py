@@ -24,6 +24,7 @@ from repro.ib.endnode import Endnode
 from repro.ib.sm import SubnetManager
 from repro.ib.switch import SwitchModel
 from repro.sim.engine import Engine
+from repro.sim.wheel import make_engine
 from repro.sim.rng import spawn_rngs
 from repro.sim.stats import LatencyStats, ThroughputMeter, WarmupFilter
 from repro.topology.fattree import FatTree
@@ -194,7 +195,7 @@ def build_subnet(
         scheme_obj = artifacts.scheme
         lfts = artifacts.lfts
         dlid_flat = artifacts.dlid_flat
-        engine = Engine()
+        engine = make_engine(cfg.engine)
     else:
         ft = FatTree(m, n)
         if isinstance(scheme, str):
@@ -207,7 +208,7 @@ def build_subnet(
                 raise ValueError("scheme was built for a different FT(m, n)")
             ft = scheme_obj.ft
 
-        engine = Engine()
+        engine = make_engine(cfg.engine)
         sm = SubnetManager(scheme_obj)
         lfts = sm.configure()
 

@@ -28,6 +28,7 @@ from typing import Callable, Deque, Dict, List, Optional
 
 from repro.ib.buffers import VlBuffer
 from repro.ib.config import SimConfig
+from repro.ib.fastpath import HopEvent
 from repro.ib.lft import LinearForwardingTable
 from repro.ib.link import Transmitter
 from repro.ib.packet import Packet
@@ -73,7 +74,16 @@ class RoutingEngine:
     def _finish(self, done: Callable[[], None]) -> None:
         self.active -= 1
         if self.queue:
-            self._start(self.queue.popleft())
+            nxt = self.queue.popleft()
+            if nxt.__class__ is HopEvent:
+                # A fused hop waiting in the FIFO (wheel backend only):
+                # restart it as a pooled event — this is the oracle's
+                # _start, minus the closure and Event allocations.
+                self.active += 1
+                self.ops += 1
+                self.engine.schedule_pooled(self.routing_time, nxt, nxt.routed_cb)
+            else:
+                self._start(nxt)
         done()
 
 
@@ -88,10 +98,19 @@ class InputUnit:
         "buffers",
         "upstream",
         "_routing",
+        "_router",
         "_fwd",
+        "_fwd_n",
+        "_txl",
+        "_fifos",
+        "_cap",
         "_flying_ns",
         "_record_routes",
+        "_credit_cbs",
     )
+
+    #: Receiver-kind marker for the fused hop fast path (fastpath.send).
+    _is_input_unit = True
 
     def __init__(self, engine: Engine, cfg: SimConfig, switch: "SwitchModel", port: int):
         self.engine = engine
@@ -108,9 +127,18 @@ class InputUnit:
         # Hot-loop constants, hoisted out of the per-packet path.
         # _fwd is the LFT's dense entry list: forwarding is one array
         # index per packet instead of a bounds-checking method call.
+        self._router = switch.router
         self._fwd = switch.lft._ports
+        self._fwd_n = len(self._fwd)
+        self._txl = switch._txl
+        # Per-VL FIFOs and the (uniform) capacity, for the fused path.
+        self._fifos = [buf._fifo for buf in self.buffers]
+        self._cap = cfg.buffer_packets_per_vl
         self._flying_ns = cfg.flying_time_ns
         self._record_routes = cfg.record_routes
+        # Fused-path credit-return closures, one per VL, built lazily
+        # (upstream is wired after construction).
+        self._credit_cbs: List[Optional[Callable[[], None]]] = [None] * cfg.num_vls
 
     def receive(self, packet: Packet) -> None:
         """Header arrival from the wire."""
@@ -121,7 +149,7 @@ class InputUnit:
 
     def _start_routing(self, vl: int) -> None:
         self._routing[vl] = True
-        self.switch.router.request(lambda: self._routed(vl))
+        self._router.request(lambda: self._routed(vl))
 
     def _routed(self, vl: int) -> None:
         """Routing decided for the head packet of ``vl``; request output."""
@@ -189,6 +217,9 @@ class SwitchModel:
         #: physical port -> units; populated lazily by the wiring code
         self.rx: Dict[int, InputUnit] = {}
         self.tx: Dict[int, Transmitter] = {}
+        #: dense port -> transmitter mirror of ``tx`` (fused path: a
+        #: list index per hop instead of a dict probe)
+        self._txl: List[Optional[Transmitter]] = [None] * (num_ports + 1)
         self.lft = lft
         self.router = RoutingEngine(
             engine, cfg.routing_time_ns, cfg.routing_engines_per_switch
@@ -207,6 +238,7 @@ class SwitchModel:
         fwd = table._ports
         for unit in self.rx.values():
             unit._fwd = fwd
+            unit._fwd_n = len(fwd)
 
     def add_port(self, port: int) -> None:
         """Instantiate the RX/TX pair for a physical port (1-based)."""
@@ -217,7 +249,9 @@ class SwitchModel:
         if port in self.rx:
             raise ValueError(f"port {port} of {self.name} already added")
         self.rx[port] = InputUnit(self.engine, self.cfg, self, port)
-        self.tx[port] = Transmitter(self.engine, self.cfg, f"{self.name}.tx{port}")
+        tx = Transmitter(self.engine, self.cfg, f"{self.name}.tx{port}")
+        self.tx[port] = tx
+        self._txl[port] = tx
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SwitchModel({self.name!r}, ports={sorted(self.tx)})"

@@ -17,11 +17,14 @@ through explicitly seeded generators.
 from repro.sim.engine import Engine, Event, SimulationError
 from repro.sim.rng import make_rng, spawn_rngs
 from repro.sim.stats import LatencyStats, ThroughputMeter, WarmupFilter
+from repro.sim.wheel import WheelEngine, make_engine
 
 __all__ = [
     "Engine",
     "Event",
     "SimulationError",
+    "WheelEngine",
+    "make_engine",
     "make_rng",
     "spawn_rngs",
     "LatencyStats",

@@ -70,6 +70,11 @@ class Engine:
 
     __slots__ = ("now", "_heap", "_seq", "_events_processed", "_running")
 
+    #: Does this backend run the fused hop fast path (repro.ib.fastpath)?
+    #: The heap engine is the oracle: it always takes the general,
+    #: one-callback-per-event path.
+    fused = False
+
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Event]] = []
@@ -111,6 +116,16 @@ class Engine:
         self._seq += 1
         heapq.heappush(self._heap, (time, self._seq, ev))
         return ev
+
+    def call_after(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule a fire-and-forget callback ``delay`` ns from now.
+
+        Like :meth:`schedule_after` but returns no handle: the call
+        cannot be cancelled.  Backends may exploit this (the wheel
+        engine skips the :class:`Event` allocation entirely); here it
+        is a thin wrapper kept for cross-backend API parity.
+        """
+        self.schedule_after(delay, callback)
 
     # ------------------------------------------------------------------
     # Execution
@@ -171,17 +186,29 @@ class Engine:
 
         Returns ``True`` if an event fired, ``False`` if the queue was
         empty.
+
+        Raises :class:`SimulationError` when called re-entrantly (from
+        inside a firing callback, or while :meth:`run` is active) —
+        the same guard :meth:`run` enforces.
         """
-        heap = self._heap
-        while heap:
-            time, _seq, ev = heapq.heappop(heap)
-            if ev.cancelled:
-                continue
-            self.now = time
-            self._events_processed += 1
-            ev.callback()
-            return True
-        return False
+        if self._running:
+            raise SimulationError(
+                "engine is already running (re-entrant step())"
+            )
+        self._running = True
+        try:
+            heap = self._heap
+            while heap:
+                time, _seq, ev = heapq.heappop(heap)
+                if ev.cancelled:
+                    continue
+                self.now = time
+                self._events_processed += 1
+                ev.callback()
+                return True
+            return False
+        finally:
+            self._running = False
 
     # ------------------------------------------------------------------
     # Introspection
@@ -197,7 +224,19 @@ class Engine:
         return self._events_processed
 
     def peek_time(self) -> Optional[float]:
-        """Timestamp of the next live event, or ``None`` if queue is empty."""
+        """Timestamp of the next live event, or ``None`` if queue is empty.
+
+        This *reaps* lazily-cancelled entries from the head of the
+        queue (it mutates the heap and shrinks :attr:`pending`) — that
+        is what makes the answer exact rather than a stale upper bound.
+        Because of that mutation it must not be called from inside a
+        firing callback; doing so raises :class:`SimulationError`.
+        """
+        if self._running:
+            raise SimulationError(
+                "peek_time() may not be called from inside a firing "
+                "callback (it mutates the event queue)"
+            )
         heap = self._heap
         while heap and heap[0][2].cancelled:
             heapq.heappop(heap)

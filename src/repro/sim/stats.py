@@ -125,6 +125,10 @@ class ThroughputMeter:
         """Record a packet of ``nbytes`` delivered at simulated ``time``."""
         if not self.window.accepts(time):
             return
+        self.record_accepted(nbytes, destination)
+
+    def record_accepted(self, nbytes: int, destination: int | None = None) -> None:
+        """Record a packet the caller already window-filtered."""
         self.bytes_delivered += nbytes
         self.packets_delivered += 1
         if destination is not None:

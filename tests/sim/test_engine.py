@@ -1,19 +1,29 @@
-"""Unit tests for the discrete-event engine."""
+"""Unit tests for the discrete-event engine.
+
+Every test runs against both scheduler backends — the heap oracle
+(``repro.sim.engine.Engine``) and the timing wheel
+(``repro.sim.wheel.WheelEngine``) — because the wheel's contract is
+*bit-identical behaviour* (same order, same counters, same guards).
+"""
 
 import pytest
 
-from repro.sim.engine import Engine, SimulationError
+from repro.sim.engine import SimulationError
+from repro.sim.wheel import make_engine
 
 
-def test_initial_state():
-    eng = Engine()
+@pytest.fixture(params=["heap", "wheel"])
+def eng(request):
+    return make_engine(request.param)
+
+
+def test_initial_state(eng):
     assert eng.now == 0.0
     assert eng.pending == 0
     assert eng.events_processed == 0
 
 
-def test_single_event_fires_at_time():
-    eng = Engine()
+def test_single_event_fires_at_time(eng):
     fired = []
     eng.schedule(10.0, lambda: fired.append(eng.now))
     eng.run()
@@ -21,8 +31,7 @@ def test_single_event_fires_at_time():
     assert eng.now == 10.0
 
 
-def test_events_fire_in_time_order():
-    eng = Engine()
+def test_events_fire_in_time_order(eng):
     order = []
     eng.schedule(30.0, lambda: order.append(3))
     eng.schedule(10.0, lambda: order.append(1))
@@ -31,8 +40,7 @@ def test_events_fire_in_time_order():
     assert order == [1, 2, 3]
 
 
-def test_same_time_events_fire_fifo():
-    eng = Engine()
+def test_same_time_events_fire_fifo(eng):
     order = []
     for i in range(10):
         eng.schedule(5.0, lambda i=i: order.append(i))
@@ -40,33 +48,31 @@ def test_same_time_events_fire_fifo():
     assert order == list(range(10))
 
 
-def test_schedule_after_uses_relative_delay():
-    eng = Engine()
+def test_schedule_after_uses_relative_delay(eng):
     times = []
+
     def first():
         times.append(eng.now)
         eng.schedule_after(7.0, lambda: times.append(eng.now))
+
     eng.schedule(3.0, first)
     eng.run()
     assert times == [3.0, 10.0]
 
 
-def test_schedule_in_past_raises():
-    eng = Engine()
+def test_schedule_in_past_raises(eng):
     eng.schedule(5.0, lambda: None)
     eng.run()
     with pytest.raises(SimulationError):
         eng.schedule(4.0, lambda: None)
 
 
-def test_negative_delay_raises():
-    eng = Engine()
+def test_negative_delay_raises(eng):
     with pytest.raises(SimulationError):
         eng.schedule_after(-1.0, lambda: None)
 
 
-def test_run_until_stops_before_later_events():
-    eng = Engine()
+def test_run_until_stops_before_later_events(eng):
     fired = []
     eng.schedule(10.0, lambda: fired.append("a"))
     eng.schedule(50.0, lambda: fired.append("b"))
@@ -77,23 +83,20 @@ def test_run_until_stops_before_later_events():
     assert fired == ["a", "b"]
 
 
-def test_run_until_advances_clock_when_queue_empty():
-    eng = Engine()
+def test_run_until_advances_clock_when_queue_empty(eng):
     eng.run(until=100.0)
     assert eng.now == 100.0
 
 
-def test_run_until_boundary_event_fires():
-    eng = Engine()
+def test_run_until_boundary_event_fires(eng):
     fired = []
     eng.schedule(20.0, lambda: fired.append(1))
     eng.run(until=20.0)
     assert fired == [1]
 
 
-def test_run_until_in_past_raises_instead_of_rewinding():
+def test_run_until_in_past_raises_instead_of_rewinding(eng):
     """Regression: run(until < now) used to silently rewind the clock."""
-    eng = Engine()
     eng.schedule(10.0, lambda: None)
     eng.run(until=50.0)
     assert eng.now == 50.0
@@ -108,15 +111,13 @@ def test_run_until_in_past_raises_instead_of_rewinding():
     assert eng.pending == 1
 
 
-def test_run_until_now_is_a_noop():
-    eng = Engine()
+def test_run_until_now_is_a_noop(eng):
     eng.run(until=30.0)
     eng.run(until=30.0)  # boundary: until == now is allowed
     assert eng.now == 30.0
 
 
-def test_cancel_prevents_firing():
-    eng = Engine()
+def test_cancel_prevents_firing(eng):
     fired = []
     ev = eng.schedule(10.0, lambda: fired.append(1))
     ev.cancel()
@@ -125,28 +126,27 @@ def test_cancel_prevents_firing():
     assert eng.events_processed == 0
 
 
-def test_cancel_is_idempotent():
-    eng = Engine()
+def test_cancel_is_idempotent(eng):
     ev = eng.schedule(10.0, lambda: None)
     ev.cancel()
     ev.cancel()
     eng.run()
 
 
-def test_events_scheduled_during_run_fire():
-    eng = Engine()
+def test_events_scheduled_during_run_fire(eng):
     fired = []
+
     def chain(depth):
         fired.append(eng.now)
         if depth:
             eng.schedule_after(1.0, lambda: chain(depth - 1))
+
     eng.schedule(0.0, lambda: chain(3))
     eng.run()
     assert fired == [0.0, 1.0, 2.0, 3.0]
 
 
-def test_step_processes_one_event():
-    eng = Engine()
+def test_step_processes_one_event(eng):
     fired = []
     eng.schedule(1.0, lambda: fired.append(1))
     eng.schedule(2.0, lambda: fired.append(2))
@@ -157,8 +157,7 @@ def test_step_processes_one_event():
     assert fired == [1, 2]
 
 
-def test_step_skips_cancelled():
-    eng = Engine()
+def test_step_skips_cancelled(eng):
     fired = []
     ev = eng.schedule(1.0, lambda: fired.append(1))
     eng.schedule(2.0, lambda: fired.append(2))
@@ -167,8 +166,7 @@ def test_step_skips_cancelled():
     assert fired == [2]
 
 
-def test_peek_time_skips_cancelled():
-    eng = Engine()
+def test_peek_time_skips_cancelled(eng):
     ev = eng.schedule(1.0, lambda: None)
     eng.schedule(5.0, lambda: None)
     assert eng.peek_time() == 1.0
@@ -176,14 +174,13 @@ def test_peek_time_skips_cancelled():
     assert eng.peek_time() == 5.0
 
 
-def test_peek_time_empty_queue():
-    assert Engine().peek_time() is None
+def test_peek_time_empty_queue(eng):
+    assert eng.peek_time() is None
 
 
-def test_peek_time_pops_run_of_cancelled_heads():
-    """Lazily-cancelled events at the heap head are drained, not just
+def test_peek_time_pops_run_of_cancelled_heads(eng):
+    """Lazily-cancelled events at the queue head are drained, not just
     skipped: peek_time physically removes them from the queue."""
-    eng = Engine()
     cancelled = [eng.schedule(float(t), lambda: None) for t in (1, 2, 3)]
     eng.schedule(9.0, lambda: None)
     for ev in cancelled:
@@ -193,8 +190,7 @@ def test_peek_time_pops_run_of_cancelled_heads():
     assert eng.pending == 1  # the three cancelled heads were dropped
 
 
-def test_peek_time_all_cancelled_drains_to_none():
-    eng = Engine()
+def test_peek_time_all_cancelled_drains_to_none(eng):
     events = [eng.schedule(float(t), lambda: None) for t in (1, 2)]
     for ev in events:
         ev.cancel()
@@ -202,8 +198,7 @@ def test_peek_time_all_cancelled_drains_to_none():
     assert eng.pending == 0
 
 
-def test_peek_time_does_not_advance_clock_or_counter():
-    eng = Engine()
+def test_peek_time_does_not_advance_clock_or_counter(eng):
     ev = eng.schedule(5.0, lambda: None)
     ev.cancel()
     eng.schedule(7.0, lambda: None)
@@ -212,10 +207,9 @@ def test_peek_time_does_not_advance_clock_or_counter():
     assert eng.events_processed == 0
 
 
-def test_step_skips_run_of_cancelled_heads():
+def test_step_skips_run_of_cancelled_heads(eng):
     """step() pops through consecutive cancelled heads and fires the
     first live event exactly once."""
-    eng = Engine()
     fired = []
     cancelled = [
         eng.schedule(float(t), lambda t=t: fired.append(t)) for t in (1, 2, 3)
@@ -229,8 +223,7 @@ def test_step_skips_run_of_cancelled_heads():
     assert eng.events_processed == 1
 
 
-def test_step_all_cancelled_returns_false():
-    eng = Engine()
+def test_step_all_cancelled_returns_false(eng):
     events = [eng.schedule(float(t), lambda: None) for t in (1, 2)]
     for ev in events:
         ev.cancel()
@@ -240,9 +233,8 @@ def test_step_all_cancelled_returns_false():
     assert eng.events_processed == 0
 
 
-def test_event_cancelled_mid_step_sequence():
+def test_event_cancelled_mid_step_sequence(eng):
     """An event cancelled by an earlier event's callback never fires."""
-    eng = Engine()
     fired = []
     later = eng.schedule(2.0, lambda: fired.append("later"))
     eng.schedule(1.0, lambda: (fired.append("first"), later.cancel()))
@@ -251,38 +243,71 @@ def test_event_cancelled_mid_step_sequence():
     assert fired == ["first"]
 
 
-def test_events_processed_counts():
-    eng = Engine()
+def test_events_processed_counts(eng):
     for t in range(5):
         eng.schedule(float(t), lambda: None)
     eng.run()
     assert eng.events_processed == 5
 
 
-def test_reentrant_run_rejected():
-    eng = Engine()
+def test_reentrant_run_rejected(eng):
     def nested():
         with pytest.raises(SimulationError):
             eng.run()
+
     eng.schedule(1.0, nested)
     eng.run()
 
 
-def test_zero_time_self_scheduling_same_timestamp():
+def test_reentrant_step_rejected(eng):
+    """step() from inside a firing callback is rejected: it would
+    recurse into the dispatch loop and double-fire queue state."""
+    caught = []
+
+    def nested():
+        with pytest.raises(SimulationError):
+            eng.step()
+        caught.append(True)
+
+    eng.schedule(1.0, nested)
+    eng.run()
+    assert caught == [True]
+    # The guard also trips under step()-driven dispatch.
+    eng.schedule(2.0, nested)
+    assert eng.step() is True
+    assert caught == [True, True]
+
+
+def test_peek_time_rejected_inside_callback(eng):
+    """peek_time() reaps cancelled entries (it mutates the queue), so
+    calling it from inside a firing callback is rejected."""
+    caught = []
+
+    def nested():
+        with pytest.raises(SimulationError):
+            eng.peek_time()
+        caught.append(True)
+
+    eng.schedule(1.0, nested)
+    eng.run()
+    assert caught == [True]
+
+
+def test_zero_time_self_scheduling_same_timestamp(eng):
     """An event may schedule another at the current time; it fires next."""
-    eng = Engine()
     order = []
+
     def a():
         order.append("a")
         eng.schedule(eng.now, lambda: order.append("b"))
+
     eng.schedule(5.0, a)
     eng.schedule(5.0, lambda: order.append("c"))
     eng.run()
     assert order == ["a", "c", "b"]  # FIFO among same-time events
 
 
-def test_exception_in_callback_propagates_and_engine_recovers():
-    eng = Engine()
+def test_exception_in_callback_propagates_and_engine_recovers(eng):
     eng.schedule(1.0, lambda: (_ for _ in ()).throw(ValueError("boom")))
     eng.schedule(2.0, lambda: None)
     with pytest.raises(ValueError):
@@ -290,3 +315,14 @@ def test_exception_in_callback_propagates_and_engine_recovers():
     # The failed event was consumed; the rest still runs.
     eng.run()
     assert eng.now == 2.0
+    assert eng.events_processed == 2  # the raiser counts as fired
+
+
+def test_call_after_fires_without_handle(eng):
+    fired = []
+    eng.call_after(5.0, lambda: fired.append(eng.now))
+    eng.run()
+    assert fired == [5.0]
+    assert eng.events_processed == 1
+    with pytest.raises(SimulationError):
+        eng.call_after(-1.0, lambda: None)

@@ -16,6 +16,7 @@ from hypothesis.stateful import (
 from hypothesis import strategies as st
 
 from repro.sim.engine import Engine
+from repro.sim.wheel import WheelEngine
 
 
 class EngineMachine(RuleBasedStateMachine):
@@ -84,7 +85,20 @@ class EngineMachine(RuleBasedStateMachine):
         assert self.engine.events_processed == len(self.fired)
 
 
+class WheelEngineMachine(EngineMachine):
+    """Same contracts, exercised against the timing-wheel backend."""
+
+    def __init__(self):
+        super().__init__()
+        self.engine = WheelEngine()
+
+
 TestEngineStateMachine = EngineMachine.TestCase
 TestEngineStateMachine.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)
+
+TestWheelEngineStateMachine = WheelEngineMachine.TestCase
+TestWheelEngineStateMachine.settings = settings(
     max_examples=30, stateful_step_count=40, deadline=None
 )
