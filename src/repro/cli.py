@@ -21,10 +21,12 @@ Subcommands
     Run a short simulation and print the fabric heat report.
 ``faults M N COUNT [--scheme S] [--seed K]``
     Fail COUNT random links, repair the tables, verify every route.
-``failover M N [--scheme S] [--load L] [--fail-at T1] [--recover-at T2]``
+``failover M N [--scheme S] [--load L] [--fail-at T1] [--recover-at T2] [--scalar-repair]``
     Live failover simulation: a link dies mid-run, the dynamic SM
-    detects it, repairs around it, and restores the original tables on
-    recovery; reports time-to-detect, time-to-repair and packets lost.
+    detects it, repairs around it (vectorized fault kernel by default;
+    ``--scalar-repair`` forces the scalar oracle), and restores the
+    original tables on recovery; reports time-to-detect, time-to-repair
+    and packets lost.
 ``list``
     List the available experiments, schemes and patterns.
 """
@@ -293,7 +295,8 @@ def _cmd_failover(args: argparse.Namespace) -> int:
         f"{format_switch(w, lvl)} port {port} down at t={args.fail_at:.0f}ns, "
         f"up at t={args.recover_at:.0f}ns "
         f"(detect latency {args.detect_latency:.0f}ns, "
-        f"program {args.program_time:.0f}ns/switch, load {args.load})"
+        f"program {args.program_time:.0f}ns/switch, load {args.load}, "
+        f"repair: {'scalar oracle' if args.scalar_repair else 'fault kernel'})"
     )
     row = run_failover(
         args.m,
@@ -306,6 +309,7 @@ def _cmd_failover(args: argparse.Namespace) -> int:
         pattern=args.pattern,
         cfg=cfg,
         seed=args.seed,
+        scalar_repair=args.scalar_repair,
     )
     for record in row["records"]:
         print(
@@ -495,6 +499,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--pattern", default="uniform")
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--scalar-repair",
+        action="store_true",
+        help="force the scalar repair oracle (default: vectorized fault kernel)",
+    )
     p.add_argument(
         "--engine",
         default="wheel",

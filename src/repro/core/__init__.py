@@ -22,6 +22,11 @@ from repro.core.forwarding import MlidScheme, build_mlid_tables
 from repro.core.slid import SlidScheme, build_slid_tables
 from repro.core.extensions import HashedMlidScheme, DestStaggeredMlidScheme
 from repro.core.fault import FaultSet, FaultTolerantTables, DisconnectedError
+from repro.core.fault_kernel import (
+    FaultRepairKernel,
+    RepairedTables,
+    compile_fault_kernel,
+)
 from repro.core.updown import UpDownScheme
 from repro.core.scheme import RoutingScheme, get_scheme, available_schemes
 from repro.core.kernel import RouteKernel, compile_kernel
@@ -47,6 +52,9 @@ __all__ = [
     "FaultSet",
     "FaultTolerantTables",
     "DisconnectedError",
+    "FaultRepairKernel",
+    "RepairedTables",
+    "compile_fault_kernel",
     "UpDownScheme",
     "RoutingScheme",
     "get_scheme",

@@ -27,6 +27,14 @@ longer always minimal.
 
 Failures that disconnect a destination (every path gone — e.g. a
 node's only leaf link) raise :class:`DisconnectedError`.
+
+This class is the *oracle*: deliberately scalar, one destination at a
+time, optimized for auditability against the paper rather than speed.
+The production path — what the dynamic subnet manager runs per sweep —
+is :class:`repro.core.fault_kernel.FaultRepairKernel`, a vectorized
+engine contract-bound (and hypothesis-tested) to produce bit-identical
+tables, ``repaired_entries`` counts and :class:`DisconnectedError`
+messages.  Any behavior change here is a contract change there.
 """
 
 from __future__ import annotations
@@ -329,9 +337,14 @@ class FaultTolerantTables:
 
 
 class _RepairedScheme(RoutingScheme):
-    """RoutingScheme facade over repaired tables."""
+    """RoutingScheme facade over repaired tables.
 
-    def __init__(self, ftt: FaultTolerantTables):
+    Duck-typed over ``ft`` / ``scheme`` / ``output_port`` so both
+    :class:`FaultTolerantTables` and the kernel's
+    :class:`repro.core.fault_kernel.RepairedTables` can wear it.
+    """
+
+    def __init__(self, ftt):
         super().__init__(ftt.ft)
         self._ftt = ftt
         self._base = ftt.scheme

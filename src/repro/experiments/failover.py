@@ -95,6 +95,7 @@ def run_failover(
     cfg: Optional[SimConfig] = None,
     seed: int = 1,
     drain: bool = True,
+    scalar_repair: bool = False,
 ) -> dict:
     """One link-down/link-up failover simulation; returns the report row.
 
@@ -104,6 +105,13 @@ def run_failover(
     With ``drain`` (default) generation stops at ``run_until`` and the
     simulation then runs to quiescence so the delivery accounting is
     exact: ``generated == delivered + packets_lost + backlog``.
+
+    ``scalar_repair`` routes every SM re-sweep through the scalar
+    :class:`~repro.core.fault.FaultTolerantTables` oracle instead of
+    the vectorized fault-repair kernel; both backends produce
+    bit-identical tables (the ``repair_matches_offline`` column checks
+    the live mid-outage LFTs against the offline oracle either way),
+    so the row is the same — only the SM's wall-clock cost differs.
     """
     if t_recover <= t_fail:
         raise ValueError(f"t_recover={t_recover} must follow t_fail={t_fail}")
@@ -123,7 +131,7 @@ def run_failover(
     sw, port = link if link is not None else default_link(net.ft)
     initial = {s: model.lft for s, model in net.switches.items()}
     schedule = FaultSchedule(net.ft).fail_and_recover(sw, port, t_fail, t_recover)
-    mgr = DynamicSubnetManager(net, schedule)
+    mgr = DynamicSubnetManager(net, schedule, use_kernel=not scalar_repair)
     mgr.arm()
 
     if load > 0:

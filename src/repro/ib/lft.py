@@ -57,9 +57,14 @@ class LinearForwardingTable:
 
         This is the Subnet Manager's programming path: validation is a
         single vectorized range check instead of the per-entry loop
-        (which dominates LFT construction on large fabrics).
+        (which dominates LFT construction on large fabrics).  Accepts
+        any integer sequence; an ndarray input (the fault kernel's
+        repaired rows) skips per-element iteration entirely.
         """
-        arr = np.fromiter((k + 1 for k in entries), dtype=np.int64)
+        if isinstance(entries, np.ndarray):
+            arr = np.add(entries, 1, dtype=np.int64)
+        else:
+            arr = np.fromiter((k + 1 for k in entries), dtype=np.int64)
         bad = (arr < 1) | (arr > num_physical_ports)
         if bad.any():
             i = int(np.argmax(bad))

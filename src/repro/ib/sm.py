@@ -18,7 +18,9 @@ description and a :class:`~repro.core.scheme.RoutingScheme`:
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.core.scheme import RoutingScheme
 from repro.ib.lft import LinearForwardingTable
@@ -126,18 +128,18 @@ class SubnetManager:
 
     def program_delta(
         self,
-        live: Dict[SwitchLabel, List[int]],
-        target: Dict[SwitchLabel, List[int]],
+        live: Dict[SwitchLabel, Sequence[int]],
+        target: Dict[SwitchLabel, Sequence[int]],
     ) -> Dict[SwitchLabel, Tuple[LinearForwardingTable, int]]:
         """Delta reprogramming: new LFTs for switches whose table moved.
 
         ``live`` and ``target`` are 0-based paper-port tables
         (``tables[sw][lid - 1] -> k``, the :meth:`RoutingScheme.build_tables`
-        shape).  Returns, for every switch with at least one differing
-        entry, the fully built *physical* (1-based) replacement LFT and
-        the count of entries that changed — the same
+        shape) as lists or numpy arrays; the diff is a vectorized
+        entry-wise compare, and only switches that actually changed pay
+        for LFT materialization.  Those go through the same
         :meth:`LinearForwardingTable.from_zero_based` conversion the
-        initial sweep uses, so delta-programmed entries go through the
+        initial sweep uses, so delta-programmed entries get the
         identical ``k -> k + 1`` port shift and range validation.
 
         Switches are emitted in fabric (``ft.switches``) order so the
@@ -145,10 +147,11 @@ class SubnetManager:
         """
         out: Dict[SwitchLabel, Tuple[LinearForwardingTable, int]] = {}
         for sw in self.ft.switches:
-            old, new = live[sw], target[sw]
-            if old == new:
+            old = np.asarray(live[sw])
+            new = np.asarray(target[sw])
+            changed = int(np.count_nonzero(old != new))
+            if changed == 0:
                 continue
-            changed = sum(1 for a, b in zip(old, new) if a != b)
             out[sw] = (
                 LinearForwardingTable.from_zero_based(new, self.ft.m),
                 changed,

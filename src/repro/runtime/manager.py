@@ -16,10 +16,13 @@ failure lifecycle *inside* the discrete-event simulation:
    quantization).
 3. **Re-sweep** — the SM snapshots the fabric's current port state
    (sweep semantics: simultaneous failures coalesce into one repair)
-   and computes target tables with
-   :class:`~repro.core.fault.FaultTolerantTables` — the exact offline
-   repair math — or, when every link is back, restores the cached
-   initial sweep tables bit-for-bit.
+   and computes target tables with the vectorized
+   :class:`~repro.core.fault_kernel.FaultRepairKernel` (incremental
+   across consecutive sweeps; bit-identical to the offline
+   :class:`~repro.core.fault.FaultTolerantTables`, which
+   ``use_kernel=False`` swaps back in as the oracle path) — or, when
+   every link is back, restores the cached initial sweep tables
+   bit-for-bit.
 4. **Delta programming** — only switches whose table moved are
    reprogrammed, one ``SimConfig.sm_program_time_ns`` apart, through
    the existing :attr:`SwitchModel.lft` swap path (which re-hoists the
@@ -45,7 +48,10 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+import numpy as np
+
 from repro.core.fault import FaultSet, FaultTolerantTables, LinkId, link_id
+from repro.core.fault_kernel import FaultRepairKernel
 from repro.core.kernel import RouteKernel
 from repro.ib.lft import LinearForwardingTable
 from repro.ib.link import Transmitter
@@ -57,8 +63,9 @@ from repro.topology.labels import SwitchLabel
 
 __all__ = ["DynamicSubnetManager", "FailoverMetrics", "ReroutingRecord"]
 
-#: 0-based tables in the RoutingScheme.build_tables() shape.
-Tables = Dict[SwitchLabel, List[int]]
+#: 0-based tables, one array per switch (``row[lid - 1] -> port``) —
+#: the numpy mirror of the RoutingScheme.build_tables() shape.
+Tables = Dict[SwitchLabel, np.ndarray]
 
 
 @dataclass(frozen=True)
@@ -117,6 +124,8 @@ class DynamicSubnetManager:
         net: Subnet,
         schedule: Optional[FaultSchedule] = None,
         heartbeat_period_ns: Optional[float] = None,
+        *,
+        use_kernel: bool = True,
     ):
         self.net = net
         self.engine = net.engine
@@ -135,14 +144,24 @@ class DynamicSubnetManager:
         #: the fault set the currently-programmed tables route around.
         self.programmed_faults: frozenset = frozenset()
         self.records: List[ReroutingRecord] = []
-        # Live tables mirrored in 0-based form for delta computation;
-        # the initial sweep's tables double as the recovery target, so
-        # full recovery restores the paper-optimal tables bit-for-bit.
+        # Re-sweep backend: the vectorized fault-repair kernel (compiled
+        # lazily on the first faulty sweep; incremental across sweeps)
+        # or the scalar oracle when use_kernel=False.
+        self.use_kernel = use_kernel
+        self.fault_kernel: Optional[FaultRepairKernel] = None
+        # Live tables mirrored in 0-based array form for delta
+        # computation; the initial sweep's tables double as the
+        # recovery target, so full recovery restores the paper-optimal
+        # tables bit-for-bit.
         self._live: Tables = {
-            sw: [p - 1 for p in model.lft._ports]
+            sw: model.lft.as_array() - 1
             for sw, model in net.switches.items()
         }
-        self._baseline: Tables = {sw: list(t) for sw, t in self._live.items()}
+        self._baseline: Tables = {}
+        for sw, table in self._live.items():
+            frozen = table.copy()
+            frozen.setflags(write=False)
+            self._baseline[sw] = frozen
         self._armed = False
         # In-flight delta programming (one sweep at a time; a newer
         # sweep supersedes an unfinished one).
@@ -251,7 +270,9 @@ class DynamicSubnetManager:
             return
         self._abort_pending()  # a newer sweep supersedes an unfinished one
         target = self._target_tables(known)
-        before = {sw: list(t) for sw, t in self._live.items()}
+        # _program_step rebinds (never mutates) live rows, so aliasing
+        # the current arrays snapshots them.
+        before = dict(self._live)
         deltas = self.sm.program_delta(self._live, target)
         self.programmed_faults = known
         if not deltas:
@@ -289,16 +310,24 @@ class DynamicSubnetManager:
         """0-based tables the SM wants programmed for a fault set."""
         if not known:
             # Full recovery: restore the initial sweep, bit-for-bit.
-            return {sw: list(t) for sw, t in self._baseline.items()}
-        ftt = FaultTolerantTables(self.scheme, FaultSet(links=known))
-        return ftt.tables
+            return dict(self._baseline)
+        faults = FaultSet(links=known)
+        if not self.use_kernel:
+            ftt = FaultTolerantTables(self.scheme, faults)
+            return {
+                sw: np.asarray(entries, dtype=np.int64)
+                for sw, entries in ftt.tables.items()
+            }
+        if self.fault_kernel is None:
+            self.fault_kernel = FaultRepairKernel(self.scheme)
+        return self.fault_kernel.repair(faults).table_rows
 
     def _program_step(
         self, ctx: dict, sw: SwitchLabel, table: LinearForwardingTable
     ) -> None:
         """One SubnSet: swap the switch's LFT through the normal path."""
         self.net.switches[sw].lft = table
-        self._live[sw] = [p - 1 for p in table._ports]
+        self._live[sw] = table.as_array() - 1
         self._generation += 1  # live kernel is stale now
         ctx["programmed"] += 1
         if ctx["programmed"] == len(ctx["items"]):
@@ -367,7 +396,7 @@ class DynamicSubnetManager:
         sw = ft.node_attachment(ft.node_from_pid(src_pid)).switch
         path: List[Tuple[SwitchLabel, int]] = []
         for _ in range(max_hops):
-            port = tables[sw][dlid - 1]
+            port = int(tables[sw][dlid - 1])
             path.append((sw, port))
             ep = ft.peer(sw, port)
             if ep.is_node:
@@ -385,13 +414,12 @@ class DynamicSubnetManager:
         path length against the fault-free minimal one (the baseline
         tables), averaged over rerouted flows.
         """
-        changed_lids = {
-            lid
-            for sw, old in before.items()
-            for lid, (a, b) in enumerate(zip(old, self._live[sw]), start=1)
-            if a != b
-        }
-        if not changed_lids:
+        changed = np.zeros(self.scheme.num_lids, dtype=bool)
+        for sw, old in before.items():
+            live = self._live[sw]
+            if live is not old:
+                np.logical_or(changed, old != live, out=changed)
+        if not changed.any():
             return 0, 1.0
         max_hops = 2 * self.ft.n + 2 * max(1, len(known)) + 2
         num = self.ft.num_nodes
@@ -402,7 +430,7 @@ class DynamicSubnetManager:
                 if src == dst:
                     continue
                 dlid = self.net.dlid_for(src, dst)
-                if dlid not in changed_lids:
+                if not changed[dlid - 1]:
                     continue
                 old = self._walk(before, src, dlid, max_hops)
                 new = self._walk(self._live, src, dlid, max_hops)

@@ -15,6 +15,7 @@ the extended analyses), and :class:`ThroughputMeter` accepted traffic.
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass, field
 
 __all__ = ["LatencyStats", "ThroughputMeter", "WarmupFilter"]
@@ -45,21 +46,52 @@ class WarmupFilter:
 
 class LatencyStats:
     """Streaming latency accumulator (count/mean/min/max/variance) with
-    an optional reservoir of raw samples for percentile queries.
+    an optional bounded reservoir of raw samples for percentile queries.
 
     Uses Welford's online algorithm so the variance is numerically
-    stable over millions of samples.
+    stable over millions of samples.  The reservoir is Vitter's
+    Algorithm R with a seeded generator: memory stays bounded at
+    ``reservoir_size`` samples no matter how long the run, every
+    observation has equal probability of being retained, and a given
+    seed reproduces the same reservoir.  Mean/variance/min/max are
+    exact regardless of the bound; only percentiles are estimated once
+    ``count`` exceeds ``reservoir_size``.
     """
 
-    __slots__ = ("count", "_mean", "_m2", "min", "max", "_samples", "_keep_samples")
+    __slots__ = (
+        "count",
+        "_mean",
+        "_m2",
+        "min",
+        "max",
+        "_samples",
+        "_keep_samples",
+        "_reservoir_size",
+        "_rng",
+    )
 
-    def __init__(self, keep_samples: bool = True):
+    #: Default reservoir bound — large enough that runs at tier-1 scale
+    #: never overflow it (percentiles stay exact there), small enough
+    #: that long soak runs hold at most ~512 KiB of floats per stream.
+    DEFAULT_RESERVOIR_SIZE = 1 << 16
+
+    def __init__(
+        self,
+        keep_samples: bool = True,
+        *,
+        reservoir_size: int = DEFAULT_RESERVOIR_SIZE,
+        seed: int = 0,
+    ):
+        if reservoir_size < 1:
+            raise ValueError(f"reservoir_size must be positive, got {reservoir_size}")
         self.count = 0
         self._mean = 0.0
         self._m2 = 0.0
         self.min = math.inf
         self.max = -math.inf
         self._keep_samples = keep_samples
+        self._reservoir_size = reservoir_size
+        self._rng = random.Random(seed)
         self._samples: list[float] = []
 
     def record(self, latency: float) -> None:
@@ -75,7 +107,14 @@ class LatencyStats:
         if latency > self.max:
             self.max = latency
         if self._keep_samples:
-            self._samples.append(latency)
+            if len(self._samples) < self._reservoir_size:
+                self._samples.append(latency)
+            else:
+                # Algorithm R: the i-th observation replaces a random
+                # slot with probability reservoir_size / i.
+                slot = self._rng.randrange(self.count)
+                if slot < self._reservoir_size:
+                    self._samples[slot] = latency
 
     @property
     def mean(self) -> float:
@@ -93,7 +132,11 @@ class LatencyStats:
         return math.sqrt(v) if v == v else math.nan  # NaN-propagating
 
     def percentile(self, q: float) -> float:
-        """q-th percentile (0..100) of retained samples (nearest-rank)."""
+        """q-th percentile (0..100), nearest-rank over the reservoir.
+
+        Exact while ``count <= reservoir_size``; an unbiased estimate
+        from the uniform reservoir sample after that.
+        """
         if not self._keep_samples:
             raise RuntimeError("samples were not retained (keep_samples=False)")
         if not self._samples:

@@ -1,0 +1,119 @@
+"""Runtime-facing fault-kernel tests: incremental counters and the
+kernel-vs-oracle FailoverMetrics equivalence.
+
+The counter test pins down the kernel's *incrementality*: a second
+single-link failure on a disjoint subtree must recompute only the
+destinations whose descent cone touches the new link — one leaf's
+worth — not the whole fabric.  The metrics test pins down the *wiring*:
+a full failover run produces the identical record stream whichever
+repair backend the dynamic SM uses.
+"""
+
+import numpy as np
+
+from repro.experiments.failover import FAILOVER_COLUMNS, run_failover
+from repro.ib.config import SimConfig
+from repro.ib.subnet import build_subnet
+from repro.runtime import DynamicSubnetManager, FaultSchedule
+
+
+def make_net(m=4, n=3, scheme="mlid"):
+    cfg = SimConfig(detection_latency_ns=0.0, sm_program_time_ns=0.0)
+    return build_subnet(m, n, scheme, cfg, seed=1)
+
+
+class TestIncrementalCounters:
+    def test_disjoint_second_failure_recomputes_one_leaf(self):
+        net = make_net()
+        ft = net.ft
+        level1 = ft.switches_at_level(1)
+        # Two leaf-level links in disjoint subtrees, same routing plane
+        # (taking one link from each plane would disconnect the two
+        # leaves from each other under up/down routing — the scalar
+        # oracle raises DisconnectedError on that pair too).
+        first = (level1[0], next(iter(ft.down_ports(level1[0]))))
+        second = (level1[-2], next(iter(ft.down_ports(level1[-2]))))
+        sched = (
+            FaultSchedule(ft)
+            .link_down(1_000.0, *first)
+            .link_down(2_000.0, *second)
+        )
+        mgr = DynamicSubnetManager(net, sched)
+        mgr.arm()
+        net.engine.run()
+
+        kern = mgr.fault_kernel
+        assert kern is not None
+        # First re-sweep compiled and filled the cache (full); the
+        # second only touched the new link's descent cone: the one leaf
+        # below it, i.e. per-leaf destinations — far from all of them.
+        assert kern.repairs == 2
+        assert kern.last_mode == "incremental"
+        per_leaf = ft.num_nodes // len(ft.switches_at_level(ft.n - 1))
+        assert kern.destinations_recomputed == per_leaf
+        assert kern.destinations_recomputed < ft.num_nodes
+        assert kern.leaves_recomputed == 1
+
+    def test_full_first_sweep_counts_every_destination(self):
+        net = make_net()
+        ft = net.ft
+        sw, port = ft.switches_at_level(0)[0], 0
+        sched = FaultSchedule(ft).link_down(1_000.0, sw, port)
+        mgr = DynamicSubnetManager(net, sched)
+        mgr.arm()
+        net.engine.run()
+        assert mgr.fault_kernel.last_mode == "full"
+        assert mgr.fault_kernel.destinations_recomputed == ft.num_nodes
+
+    def test_scalar_path_never_compiles_a_kernel(self):
+        net = make_net()
+        ft = net.ft
+        sw, port = ft.switches_at_level(0)[0], 0
+        sched = FaultSchedule(ft).link_down(1_000.0, sw, port)
+        mgr = DynamicSubnetManager(net, sched, use_kernel=False)
+        mgr.arm()
+        net.engine.run()
+        assert mgr.fault_kernel is None
+        assert [r.kind for r in mgr.records] == ["down"]
+
+
+class TestBackendEquivalence:
+    def _rows(self, **kwargs):
+        kernel_row = run_failover(4, 2, "mlid", scalar_repair=False, **kwargs)
+        scalar_row = run_failover(4, 2, "mlid", scalar_repair=True, **kwargs)
+        return kernel_row, scalar_row
+
+    def test_control_plane_metrics_identical(self):
+        kernel_row, scalar_row = self._rows()
+        assert kernel_row["records"] == scalar_row["records"]
+        for col in FAILOVER_COLUMNS:
+            assert kernel_row[col] == scalar_row[col], col
+
+    def test_loaded_run_metrics_identical(self):
+        kernel_row, scalar_row = self._rows(load=0.2, seed=3)
+        assert kernel_row["records"] == scalar_row["records"]
+        for col in FAILOVER_COLUMNS:
+            assert kernel_row[col] == scalar_row[col], col
+        # Both invariants actually fired in this scenario.
+        assert kernel_row["repair_matches_offline"] is True
+        assert kernel_row["recovery_matches_initial"] is True
+
+    def test_program_delta_rows_accept_kernel_arrays(self):
+        # The kernel hands the SM read-only int16 rows; the delta path
+        # must diff and materialize them exactly like list tables.
+        from repro.ib.sm import SubnetManager
+
+        net = make_net(4, 2)
+        sm = SubnetManager(net.scheme)
+        tables = net.scheme.build_tables()
+        live = {sw: np.asarray(t, dtype=np.int16) for sw, t in tables.items()}
+        target = {sw: list(t) for sw, t in tables.items()}
+        assert sm.program_delta(live, target) == {}
+        first = net.ft.switches[0]
+        target[first] = list(target[first])
+        target[first][0] = (target[first][0] + 1) % net.ft.m
+        out = sm.program_delta(live, target)
+        assert set(out) == {first}
+        lft, changed = out[first]
+        assert changed == 1
+        assert lft[1] == target[first][0] + 1

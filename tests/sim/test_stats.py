@@ -101,6 +101,63 @@ class TestLatencyStats:
         assert s.variance == pytest.approx(np.var(xs, ddof=1), rel=1e-6, abs=1e-3)
 
 
+class TestLatencyReservoir:
+    def test_memory_stays_bounded(self):
+        s = LatencyStats(reservoir_size=100)
+        for x in range(10_000):
+            s.record(float(x))
+        assert len(s._samples) == 100
+        assert s.count == 10_000
+
+    def test_streaming_moments_exact_despite_bound(self):
+        xs = [float(x) for x in range(10_000)]
+        s = LatencyStats(reservoir_size=100)
+        for x in xs:
+            s.record(x)
+        assert s.mean == pytest.approx(np.mean(xs))
+        assert s.variance == pytest.approx(np.var(xs, ddof=1))
+        assert (s.min, s.max) == (0.0, 9999.0)
+
+    def test_percentile_exact_below_bound(self):
+        s = LatencyStats(reservoir_size=1000)
+        for x in range(1, 101):
+            s.record(float(x))
+        assert s.percentile(50) == 50.0
+        assert s.percentile(100) == 100.0
+
+    def test_percentile_estimate_above_bound_is_sane(self):
+        s = LatencyStats(reservoir_size=256, seed=7)
+        for x in range(10_000):
+            s.record(float(x))
+        p50 = s.percentile(50)
+        # A uniform reservoir over uniform data: the median estimate
+        # lands well inside the middle half of the range.
+        assert 2_500 <= p50 <= 7_500
+
+    def test_seed_reproduces_reservoir(self):
+        def fill(seed):
+            s = LatencyStats(reservoir_size=64, seed=seed)
+            for x in range(5_000):
+                s.record(float(x))
+            return list(s._samples)
+
+        assert fill(3) == fill(3)
+        assert fill(3) != fill(4)
+
+    def test_reservoir_size_validated(self):
+        with pytest.raises(ValueError):
+            LatencyStats(reservoir_size=0)
+
+    def test_default_bound_preserves_tier1_percentiles(self):
+        # The default bound exceeds any tier-1 run's sample count, so
+        # percentiles there remain exact (no behavior change).
+        s = LatencyStats()
+        for x in range(1, 1001):
+            s.record(float(x))
+        assert len(s._samples) == 1000
+        assert s.percentile(99) == 990.0
+
+
 class TestThroughputMeter:
     def test_records_only_inside_window(self):
         m = ThroughputMeter(WarmupFilter(100.0, 200.0))
