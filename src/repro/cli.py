@@ -11,9 +11,11 @@ Subcommands
 ``verify M N [--scheme S] [--scalar]``
     Exhaustively verify a scheme's forwarding tables (vectorized route
     kernel by default; ``--scalar`` forces the per-hop tracer).
-``figure ID [--quick/--full] [--csv PATH] [--jobs N]``
-    Regenerate one of the paper's figures (fig12 … fig19).
-``sweep M N [--scheme S] [--pattern P] [--loads L,L,…] [--jobs N]``
+``figure ID [--quick/--full] [--csv PATH] [--jobs N] [--mode M] [--knee-threshold T]``
+    Regenerate one of the paper's figures (fig12 … fig19).  ``--mode``
+    picks the point engine: packet simulation (default), the flow-level
+    evaluator, or the hybrid that falls back to packets near the knee.
+``sweep M N [--scheme S] [--pattern P] [--loads L,L,…] [--jobs N] [--mode M]``
     Run one offered-load sweep and print/export the points.
 ``draw M N``
     ASCII diagram of the fat-tree.
@@ -157,7 +159,13 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     if config.m == 0:
         raise SystemExit(f"{args.id} is not a simulated figure; see `repro-ibft list`")
     print(config.describe())
-    result = run_figure(config, quick=not args.full, jobs=args.jobs)
+    result = run_figure(
+        config,
+        quick=not args.full,
+        jobs=args.jobs,
+        mode=args.mode,
+        knee_threshold=args.knee_threshold,
+    )
     print(render_figure_result(result))
     if args.csv:
         rows = [p.as_row() for pts in result.curves.values() for p in pts]
@@ -184,6 +192,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         measure_ns=args.measure,
         seeds=seeds,
         jobs=args.jobs,
+        mode=args.mode,
+        knee_threshold=args.knee_threshold,
     )
     rows = [p.as_row() for p in points]
     print(
@@ -349,6 +359,29 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_mode_args(p: argparse.ArgumentParser) -> None:
+    from repro.experiments import DEFAULT_KNEE_THRESHOLD, SWEEP_MODES
+
+    p.add_argument(
+        "--mode",
+        default="packet",
+        choices=list(SWEEP_MODES),
+        help=(
+            "point engine: packet simulation, flow-level evaluation, or "
+            "hybrid (flow below the knee, packet at and past it)"
+        ),
+    )
+    p.add_argument(
+        "--knee-threshold",
+        type=float,
+        default=DEFAULT_KNEE_THRESHOLD,
+        help=(
+            "hybrid mode's peak-utilization fraction above which a point "
+            f"falls back to the packet engine (default {DEFAULT_KNEE_THRESHOLD})"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-ibft",
@@ -401,6 +434,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for the sweep points (default: 1, serial)",
     )
+    _add_mode_args(p)
     p.set_defaults(func=_cmd_figure)
 
     p = sub.add_parser("sweep", help="run one offered-load sweep")
@@ -426,6 +460,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["wheel", "heap"],
         help="event-scheduler backend (bit-identical results; see DESIGN.md §9)",
     )
+    _add_mode_args(p)
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("draw", help="ASCII diagram of FT(m, n)")

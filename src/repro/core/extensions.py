@@ -76,6 +76,10 @@ class HashedMlidScheme(MlidScheme):
         # the dense matrix agrees with ``dlid``.
         return RoutingScheme.dlid_matrix(self)
 
+    def dlid_rows(self, src_ids: np.ndarray) -> np.ndarray:
+        # Same reason as dlid_matrix.
+        return RoutingScheme.dlid_rows(self, src_ids)
+
 
 class DestStaggeredMlidScheme(MlidScheme):
     """MLID with a destination-rank stagger on top of the paper's rank.
@@ -103,6 +107,10 @@ class DestStaggeredMlidScheme(MlidScheme):
         # See HashedMlidScheme.dlid_matrix: the inherited vectorized
         # matrix would drop the stagger term.
         return RoutingScheme.dlid_matrix(self)
+
+    def dlid_rows(self, src_ids: np.ndarray) -> np.ndarray:
+        # See HashedMlidScheme.dlid_rows.
+        return RoutingScheme.dlid_rows(self, src_ids)
 
 
 register_scheme("mlid-hash", HashedMlidScheme)

@@ -67,29 +67,39 @@ class MlidScheme(RoutingScheme):
         return select_dlid(self.addressing, src, dst)
 
     def dlid_matrix(self) -> np.ndarray:
-        """Vectorized path selection for all pairs at once.
+        """Vectorized path selection for all pairs at once."""
+        return self.dlid_rows(np.arange(self.ft.num_nodes, dtype=np.int64))
+
+    def dlid_rows(self, src_ids: np.ndarray) -> np.ndarray:
+        """Vectorized path selection for a block of sources.
 
         Computes, per (src, dst): the gcp length alpha (first differing
         label digit), the source's rank suffix from position alpha+1,
-        and ``BaseLID(dst) + rank mod (m/2)^(n-1-alpha)``.
+        and ``BaseLID(dst) + rank mod (m/2)^(n-1-alpha)``.  Working on
+        source chunks keeps the (rows x N x n) comparison temporary
+        bounded, which is what lets the flow-level evaluator extract
+        flow classes on FT(32, 3) without an 8192x8192x3 blow-up per
+        call.
         """
         ft = self.ft
         n, half = ft.n, ft.half
         labels = np.array(ft.nodes, dtype=np.int64)  # (N, n)
         count = labels.shape[0]
-        # alpha[s, d] = number of leading equal digits.
-        eq = labels[:, None, :] == labels[None, :, :]  # (N, N, n)
-        alpha = np.cumprod(eq, axis=2).sum(axis=2)  # == n iff s == d
-        # suffix_val[s, a] = mixed-radix value of digits a.. of s for
+        src_ids = np.asarray(src_ids, dtype=np.int64)
+        rows = labels[src_ids]  # (R, n)
+        # alpha[i, d] = number of leading equal digits.
+        eq = rows[:, None, :] == labels[None, :, :]  # (R, N, n)
+        alpha = np.cumprod(eq, axis=2).sum(axis=2)  # == n iff src == dst
+        # suffix_val[i, a] = mixed-radix value of digits a.. of src for
         # a in 1..n (digit 0 never appears in a suffix with a >= 1).
-        suffix = np.zeros((count, n + 1), dtype=np.int64)
+        suffix = np.zeros((len(src_ids), n + 1), dtype=np.int64)
         for a in range(n - 1, 0, -1):
-            suffix[:, a] = suffix[:, a + 1] + labels[:, a] * half ** (
+            suffix[:, a] = suffix[:, a + 1] + rows[:, a] * half ** (
                 n - 1 - a
             )
         # offset = rank(src at level alpha+1) mod paths(alpha).
         a_idx = np.minimum(alpha + 1, n)  # clamp for alpha >= n-1
-        rank = suffix[np.arange(count)[:, None], a_idx]
+        rank = suffix[np.arange(len(src_ids))[:, None], a_idx]
         exponent = np.maximum(n - 1 - alpha, 0)
         paths = np.where(alpha < n - 1, half**exponent, 1).astype(np.int64)
         offset = rank % paths
@@ -97,7 +107,7 @@ class MlidScheme(RoutingScheme):
             np.arange(count, dtype=np.int64) * self.lids_per_node + 1
         )  # BaseLID by PID == node index
         out = base[None, :] + offset
-        np.fill_diagonal(out, 0)
+        out[alpha == n] = 0
         return out
 
     # -- forwarding -----------------------------------------------------
@@ -108,6 +118,36 @@ class MlidScheme(RoutingScheme):
             return dest[level]  # Equation (1): descend toward the leaf
         # Equation (2): ascend on the offset digit for this level.
         return (lid - 1) // self._divisors[level] % self.ft.half + self.ft.half
+
+    def output_port_batch(
+        self, switch_ids: np.ndarray, lids: np.ndarray
+    ) -> np.ndarray:
+        """Equations (1)/(2) for arbitrary (switch, DLID) pairs at once.
+
+        Closed-form forwarding without any table: the flow-level tracer
+        hop-steps millions of routes through this on fabrics whose LFTs
+        (switches x LIDs) would never fit in memory.
+        """
+        from repro.core.kernel import fabric_arrays
+
+        arrays = fabric_arrays(self.ft)
+        half, n = self.ft.half, self.ft.n
+        switch_ids = np.asarray(switch_ids, dtype=np.int64)
+        lids0 = np.asarray(lids, dtype=np.int64) - 1
+        if lids0.size and (lids0.min() < 0 or lids0.max() >= self.num_lids):
+            raise ValueError(f"LID must be in [1, {self.num_lids}]")
+        dest = arrays.node_digits[lids0 >> self.lmc]  # (K, n)
+        lvl = arrays.switch_level[switch_ids]  # (K,)
+        up = lids0 // np.asarray(self._divisors)[lvl] % half + half
+        # Equation (1) applies when the switch's level-long prefix
+        # matches the destination label (always true at the root row).
+        swd = arrays.switch_digits[switch_ids]  # (K, n - 1)
+        pos = np.arange(n - 1, dtype=np.int64)
+        match = (
+            (swd == dest[:, : n - 1]) | (pos[None, :] >= lvl[:, None])
+        ).all(axis=1)
+        down = dest[np.arange(len(lvl)), lvl]
+        return np.where(match, down, up)
 
     def build_tables(self) -> Dict[SwitchLabel, List[int]]:
         """Vectorized table construction (Equations 1 and 2 over the

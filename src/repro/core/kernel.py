@@ -44,14 +44,110 @@ stays visible to the kernel.
 from __future__ import annotations
 
 from collections import Counter
+from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.scheme import RoutingScheme
+from repro.topology.fattree import FatTree
 from repro.topology.labels import NodeLabel, SwitchLabel
 
-__all__ = ["RouteKernel", "compile_kernel"]
+__all__ = ["FabricArrays", "fabric_arrays", "RouteKernel", "compile_kernel"]
+
+
+@dataclass(frozen=True)
+class FabricArrays:
+    """Integer-array view of one FT(m, n): adjacency, digits, levels.
+
+    The seed-, scheme- and LID-independent part of a
+    :class:`RouteKernel` compilation.  It is cheap (O(switches × ports))
+    and small — independent of the LID space — so consumers that cannot
+    afford the full (leaf, DLID) route tensor (the flow-level evaluator
+    on FT(32, 3)-class fabrics) share the same arrays the kernel uses.
+    Memoized on the :class:`FatTree` instance by :func:`fabric_arrays`.
+    """
+
+    m: int
+    n: int
+    num_switches: int
+    num_nodes: int
+    num_leaves: int
+    #: (S, m) switch index reached out of port k, -1 when not a switch.
+    peer_switch: np.ndarray
+    #: (S, m) node index reached out of port k, -1 when not a node.
+    peer_node: np.ndarray
+    #: (S,) level of each switch (0 = root row, n-1 = leaf row).
+    switch_level: np.ndarray
+    #: (S, n-1) label digits of each switch.
+    switch_digits: np.ndarray
+    #: (N, n) label digits of each node.
+    node_digits: np.ndarray
+    #: (F,) switch index of each leaf row entry.
+    leaf_switch: np.ndarray
+    #: (N,) switch index each node attaches to.
+    attach_switch: np.ndarray
+    #: (N,) leaf row of each node's attachment switch.
+    attach_leaf: np.ndarray
+    #: (F, m/2) node indices attached to each leaf.
+    leaf_nodes: np.ndarray
+
+
+def fabric_arrays(ft: FatTree) -> FabricArrays:
+    """Build (and memoize on ``ft``) the fabric's integer-array view."""
+    cached = getattr(ft, "_fabric_arrays", None)
+    if cached is not None:
+        return cached
+    num_switches, num_nodes = ft.num_switches, ft.num_nodes
+    peer_switch = np.full((num_switches, ft.m), -1, np.int32)
+    peer_node = np.full((num_switches, ft.m), -1, np.int32)
+    for i, sw in enumerate(ft.switches):
+        for k, ep in enumerate(ft.ports(sw)):
+            if ep.is_node:
+                peer_node[i, k] = ft.node_id(ep.node)
+            elif ep.is_switch:
+                peer_switch[i, k] = ft.switch_id(ep.switch)
+    switch_level = np.array([lvl for _, lvl in ft.switches], dtype=np.int32)
+    switch_digits = np.array(
+        [w for w, _ in ft.switches], dtype=np.int64
+    ).reshape(num_switches, ft.n - 1)
+    node_digits = np.array(ft.nodes, dtype=np.int64).reshape(num_nodes, ft.n)
+
+    leaves = ft.switches_at_level(ft.n - 1)
+    num_leaves = len(leaves)
+    leaf_switch = np.array([ft.switch_id(s) for s in leaves], dtype=np.int32)
+    leaf_row = {int(s): i for i, s in enumerate(leaf_switch)}
+    attach_switch = np.array(
+        [ft.switch_id(ft.node_attachment(p).switch) for p in ft.nodes],
+        dtype=np.int32,
+    )
+    attach_leaf = np.array(
+        [leaf_row[int(s)] for s in attach_switch], dtype=np.int32
+    )
+    per_leaf = num_nodes // num_leaves
+    leaf_nodes = np.full((num_leaves, per_leaf), -1, np.int32)
+    fill = [0] * num_leaves
+    for node_id, row in enumerate(attach_leaf):
+        leaf_nodes[row, fill[row]] = node_id
+        fill[row] += 1
+    arrays = FabricArrays(
+        m=ft.m,
+        n=ft.n,
+        num_switches=num_switches,
+        num_nodes=num_nodes,
+        num_leaves=num_leaves,
+        peer_switch=peer_switch,
+        peer_node=peer_node,
+        switch_level=switch_level,
+        switch_digits=switch_digits,
+        node_digits=node_digits,
+        leaf_switch=leaf_switch,
+        attach_switch=attach_switch,
+        attach_leaf=attach_leaf,
+        leaf_nodes=leaf_nodes,
+    )
+    ft._fabric_arrays = arrays
+    return arrays
 
 
 def _defining_class(cls: type, name: str) -> type:
@@ -114,46 +210,21 @@ class RouteKernel:
             )
         self.port = np.ascontiguousarray(port)
 
-        # -- adjacency as integer indices ------------------------------
-        self.peer_switch = np.full((self.num_switches, self.m), -1, np.int32)
-        self.peer_node = np.full((self.num_switches, self.m), -1, np.int32)
-        for i, sw in enumerate(ft.switches):
-            for k, ep in enumerate(ft.ports(sw)):
-                if ep.is_node:
-                    self.peer_node[i, k] = ft.node_id(ep.node)
-                elif ep.is_switch:
-                    self.peer_switch[i, k] = ft.switch_id(ep.switch)
-
-        self.switch_level = np.array(
-            [lvl for _, lvl in ft.switches], dtype=np.int32
-        )
-        self.switch_digits = np.array(
-            [w for w, _ in ft.switches], dtype=np.int64
-        ).reshape(self.num_switches, ft.n - 1)
-        self.node_digits = np.array(ft.nodes, dtype=np.int64).reshape(
-            self.num_nodes, ft.n
-        )
+        # -- adjacency, digits, levels (shared with flow-level) --------
+        arrays = fabric_arrays(ft)
+        self.arrays = arrays
+        self.peer_switch = arrays.peer_switch
+        self.peer_node = arrays.peer_node
+        self.switch_level = arrays.switch_level
+        self.switch_digits = arrays.switch_digits
+        self.node_digits = arrays.node_digits
 
         # -- leaf row and LID index vectors ----------------------------
-        leaves = ft.switches_at_level(ft.n - 1)
-        self.num_leaves = len(leaves)
-        self.leaf_switch = np.array(
-            [ft.switch_id(s) for s in leaves], dtype=np.int32
-        )
-        leaf_row = {int(s): i for i, s in enumerate(self.leaf_switch)}
-        self.attach_switch = np.array(
-            [ft.switch_id(ft.node_attachment(p).switch) for p in ft.nodes],
-            dtype=np.int32,
-        )
-        self.attach_leaf = np.array(
-            [leaf_row[int(s)] for s in self.attach_switch], dtype=np.int32
-        )
-        per_leaf = self.num_nodes // self.num_leaves
-        self.leaf_nodes = np.full((self.num_leaves, per_leaf), -1, np.int32)
-        fill = [0] * self.num_leaves
-        for node_id, row in enumerate(self.attach_leaf):
-            self.leaf_nodes[row, fill[row]] = node_id
-            fill[row] += 1
+        self.num_leaves = arrays.num_leaves
+        self.leaf_switch = arrays.leaf_switch
+        self.attach_switch = arrays.attach_switch
+        self.attach_leaf = arrays.attach_leaf
+        self.leaf_nodes = arrays.leaf_nodes
         self.lid_owner = (
             np.arange(self.num_lids, dtype=np.int64) >> scheme.lmc
         ).astype(np.int32)
@@ -439,6 +510,38 @@ class RouteKernel:
                 if c
             }
         )
+
+    def accumulate_link_loads(self, weights: np.ndarray) -> np.ndarray:
+        """Accumulate per-(switch, port) loads over the route tensor.
+
+        ``weights`` is a ``(num_leaves, num_lids)`` array: the traffic
+        weight riding route ``(leaf, DLID)``.  Every (switch, out-port)
+        channel on that route — inter-switch hops *and* the final
+        ejection hop — receives the route's weight; the result is the
+        ``(num_switches, m)`` load matrix.
+
+        This is the flow-level evaluator's load-accumulation primitive:
+        with integer weights the float64 accumulation is exact (route
+        counts are far below 2**53), so
+        ``accumulate_link_loads(one_hot_selected_routes)`` is
+        *bit-identical* to :meth:`link_loads_all_to_one` — asserted in
+        ``tests/core/test_kernel.py`` and used as the oracle for the
+        streaming tracer of :mod:`repro.experiments.flowlevel`.
+        """
+        w = np.asarray(weights)
+        if w.shape != (self.num_leaves, self.num_lids):
+            raise ValueError(
+                f"weights must be {(self.num_leaves, self.num_lids)}, "
+                f"got {w.shape}"
+            )
+        sw = self.route_switch
+        valid = sw >= 0
+        enc = sw[valid].astype(np.int64) * self.m + self.route_port[valid]
+        wf = np.broadcast_to(w[:, :, None], sw.shape)[valid]
+        loads = np.bincount(
+            enc, weights=wf, minlength=self.num_switches * self.m
+        )
+        return loads.reshape(self.num_switches, self.m)
 
     def cdg_edges(self) -> List[Tuple[Tuple[SwitchLabel, int], ...]]:
         """Channel-dependency edges over **all** (leaf, DLID) routes —

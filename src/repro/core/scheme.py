@@ -78,6 +78,11 @@ class RoutingScheme(ABC):
         The generic implementation loops over :meth:`dlid`; schemes
         with closed forms override it with vectorized versions (the
         512-node subnet build is dominated by this step otherwise).
+        It deliberately does NOT delegate to :meth:`dlid_rows`: schemes
+        that override :meth:`dlid` under an inherited vectorization
+        (e.g. the hashed/staggered MLID variants) pin ``dlid_matrix``
+        back to this scalar loop, which must therefore honour *their*
+        ``dlid``.
         """
         nodes = self.ft.nodes
         n = len(nodes)
@@ -86,6 +91,27 @@ class RoutingScheme(ABC):
             for d, dst in enumerate(nodes):
                 if s != d:
                     out[s, d] = self.dlid(src, dst)
+        return out
+
+    def dlid_rows(self, src_ids: np.ndarray) -> np.ndarray:
+        """Path selection for a block of sources at once.
+
+        Returns the ``(len(src_ids), num_nodes)`` DLID block — row ``i``
+        holds the DLIDs source ``src_ids[i]`` uses for every
+        destination, 0 where ``src == dst``.  The generic
+        implementation loops over :meth:`dlid`; MLID/SLID override it
+        with closed forms so large fabrics can be processed in source
+        chunks without materializing the full N×N matrix's temporaries
+        (the flow-level evaluator's compile path on FT(32, 3)).
+        """
+        nodes = self.ft.nodes
+        src_ids = np.asarray(src_ids, dtype=np.int64)
+        out = np.zeros((len(src_ids), len(nodes)), dtype=np.int64)
+        for i, s in enumerate(src_ids):
+            src = nodes[int(s)]
+            for d, dst in enumerate(nodes):
+                if int(s) != d:
+                    out[i, d] = self.dlid(src, dst)
         return out
 
     # -- forwarding ----------------------------------------------------
@@ -102,6 +128,28 @@ class RoutingScheme(ABC):
             s: [self.output_port(s, lid) for lid in range(1, self.num_lids + 1)]
             for s in self.ft.switches
         }
+
+    def output_port_batch(
+        self, switch_ids: np.ndarray, lids: np.ndarray
+    ) -> np.ndarray:
+        """Forwarding decisions for arbitrary (switch, DLID) pairs.
+
+        ``switch_ids`` indexes :attr:`ft`'s ``switches`` list; ``lids``
+        holds matching 1-based DLIDs.  Returns the 0-based output port
+        per pair.  The generic implementation loops over
+        :meth:`output_port` (small fabrics and corrupted-table test
+        doubles); MLID/SLID override it with the closed-form equations
+        so the flow-level tracer can hop-step millions of routes
+        without building any forwarding table.
+        """
+        switches = self.ft.switches
+        return np.array(
+            [
+                self.output_port(switches[int(s)], int(lid))
+                for s, lid in zip(switch_ids, lids)
+            ],
+            dtype=np.int64,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -121,15 +169,20 @@ def register_scheme(name: str, factory: Callable[[FatTree], RoutingScheme]) -> N
     _REGISTRY[key] = factory
 
 
-def get_scheme(name: str, ft: FatTree) -> RoutingScheme:
-    """Instantiate a registered scheme ('mlid' or 'slid') on ``ft``."""
+def get_scheme(name: str, ft: FatTree, **kwargs) -> RoutingScheme:
+    """Instantiate a registered scheme ('mlid' or 'slid') on ``ft``.
+
+    Extra keyword arguments are passed to the factory (e.g.
+    ``strict_iba=False`` for MLID on fabrics beyond the IBA LMC
+    ceiling).
+    """
     try:
         factory = _REGISTRY[name.lower()]
     except KeyError:
         raise KeyError(
             f"unknown scheme {name!r}; available: {sorted(_REGISTRY)}"
         ) from None
-    return factory(ft)
+    return factory(ft, **kwargs)
 
 
 def available_schemes() -> List[str]:

@@ -63,6 +63,16 @@ class SlidScheme(RoutingScheme):
         np.fill_diagonal(out, 0)
         return out
 
+    def dlid_rows(self, src_ids: np.ndarray) -> np.ndarray:
+        """Vectorized block form of :meth:`dlid_matrix`."""
+        count = self.ft.num_nodes
+        src_ids = np.asarray(src_ids, dtype=np.int64)
+        out = np.tile(
+            np.arange(1, count + 1, dtype=np.int64), (len(src_ids), 1)
+        )
+        out[np.arange(len(src_ids)), src_ids] = 0
+        return out
+
     # -- forwarding -----------------------------------------------------
     def output_port(self, switch: SwitchLabel, lid: int) -> int:
         w, level = switch
@@ -70,6 +80,28 @@ class SlidScheme(RoutingScheme):
         if w[:level] == dest[:level]:
             return dest[level]  # descend
         return dest[level] + self.ft.half  # ascend on the dest digit
+
+    def output_port_batch(
+        self, switch_ids: np.ndarray, lids: np.ndarray
+    ) -> np.ndarray:
+        """Closed-form forwarding for arbitrary (switch, DLID) pairs."""
+        from repro.core.kernel import fabric_arrays
+
+        arrays = fabric_arrays(self.ft)
+        half, n = self.ft.half, self.ft.n
+        switch_ids = np.asarray(switch_ids, dtype=np.int64)
+        lids0 = np.asarray(lids, dtype=np.int64) - 1
+        if lids0.size and (lids0.min() < 0 or lids0.max() >= self.num_lids):
+            raise ValueError(f"LID must be in [1, {self.num_lids}]")
+        dest = arrays.node_digits[lids0]  # lid - 1 == PID
+        lvl = arrays.switch_level[switch_ids]
+        swd = arrays.switch_digits[switch_ids]
+        pos = np.arange(n - 1, dtype=np.int64)
+        match = (
+            (swd == dest[:, : n - 1]) | (pos[None, :] >= lvl[:, None])
+        ).all(axis=1)
+        digit = dest[np.arange(len(lvl)), lvl]
+        return np.where(match, digit, digit + half)
 
     def build_tables(self) -> Dict[SwitchLabel, List[int]]:
         """Vectorized table construction over the LID space per switch."""

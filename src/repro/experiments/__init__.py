@@ -7,6 +7,9 @@
 * :mod:`repro.experiments.parallel` — fans independent sweep points
   out over a process pool with order-preserving, bit-identical
   assembly (``jobs=N`` on ``run_sweep``/``run_figure``);
+* :mod:`repro.experiments.flowlevel` — vectorized flow-level evaluator
+  (link-load fixed point over compiled routes) powering the "flow" and
+  "hybrid" sweep modes at FT(32, 3)+ scale;
 * :mod:`repro.experiments.sweep` — full-figure orchestration (all
   schemes × VL counts), with saturation detection;
 * :mod:`repro.experiments.report` — renders results as aligned text
@@ -26,8 +29,23 @@ from repro.experiments.failover import (
     run_failover,
     run_failover_sweep,
 )
+from repro.experiments.flowlevel import (
+    DEFAULT_KNEE_THRESHOLD,
+    FlowModel,
+    build_flow_model,
+    clear_flow_models,
+    evaluate_point,
+    get_flow_model,
+    knee_utilization,
+    select_backends,
+)
 from repro.experiments.parallel import PointSpec, execute_points
-from repro.experiments.runner import SweepPoint, run_point, run_sweep
+from repro.experiments.runner import (
+    SWEEP_MODES,
+    SweepPoint,
+    run_point,
+    run_sweep,
+)
 from repro.experiments.sweep import FigureResult, run_figure, saturation_throughput
 from repro.experiments.report import render_table, to_csv, render_figure_result
 
@@ -41,8 +59,17 @@ __all__ = [
     "PointSpec",
     "execute_points",
     "SweepPoint",
+    "SWEEP_MODES",
     "run_point",
     "run_sweep",
+    "DEFAULT_KNEE_THRESHOLD",
+    "FlowModel",
+    "build_flow_model",
+    "clear_flow_models",
+    "evaluate_point",
+    "get_flow_model",
+    "knee_utilization",
+    "select_backends",
     "FAILOVER_COLUMNS",
     "run_failover",
     "run_failover_sweep",

@@ -219,6 +219,21 @@ ABLATIONS: Dict[str, ExperimentConfig] = {
         m=8, n=2, pattern="uniform",
         notes="see benchmarks/test_ablation_updown_baseline.py",
     ),
+    "a16_scale_flow": ExperimentConfig(
+        id="a16_scale_flow",
+        title="FT(32,3) fig-style sweep via the flow-level evaluator",
+        m=32,
+        n=3,
+        pattern="uniform",
+        vl_counts=(1,),
+        seeds=(1,),
+        quick_seeds=(1,),
+        notes=(
+            "8192 nodes / 2 097 152 LIDs — packet simulation is "
+            "infeasible; run with mode='flow' or 'hybrid' "
+            "(benchmarks/test_scale_throughput.py)"
+        ),
+    ),
 }
 
 

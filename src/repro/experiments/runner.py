@@ -20,8 +20,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Optional, Sequence
 
+from repro.experiments import flowlevel
 from repro.experiments.parallel import PointSpec, execute_points
 from repro.ib.artifacts import get_artifacts
 from repro.ib.config import SimConfig
@@ -34,7 +36,12 @@ __all__ = [
     "run_sweep",
     "sweep_specs",
     "aggregate_sweep",
+    "plan_flow_curve",
+    "SWEEP_MODES",
 ]
+
+#: Valid ``mode`` arguments of :func:`run_sweep` / ``run_figure``.
+SWEEP_MODES = ("packet", "flow", "hybrid")
 
 
 @dataclass(frozen=True)
@@ -50,6 +57,8 @@ class SweepPoint:
     latency_total_mean: float
     packets: int
     replicas: int
+    #: which engine produced the point: "packet" or "flow".
+    backend: str = "packet"
 
     def as_row(self) -> dict:
         return {
@@ -62,10 +71,18 @@ class SweepPoint:
             "latency_total_mean": self.latency_total_mean,
             "packets": self.packets,
             "replicas": self.replicas,
+            "backend": self.backend,
         }
 
 
+@lru_cache(maxsize=64)
 def _build_pattern(pattern: str, num_nodes: int, hotspot_fraction: float):
+    """Per-process memoized pattern construction.
+
+    Patterns are immutable after ``__init__`` (choosers draw from the
+    caller's RNG), so sharing one instance across the sweep hot loop is
+    safe and skips the O(N) permutation/derangement setup per point.
+    """
     if pattern == "centric":
         return make_pattern(
             "centric", num_nodes, hot_pid=0, fraction=hotspot_fraction
@@ -143,17 +160,23 @@ def aggregate_sweep(
     loads: Sequence[float],
     seeds: Sequence[int],
     results: Sequence[dict],
+    backends: Optional[Sequence[str]] = None,
 ) -> List[SweepPoint]:
     """Fold per-point measurements (grid order) into ``SweepPoint``s.
 
     Latency means are packet-count-weighted across replicas; the p99 is
     the max across replicas (conservative).  The accumulation order is
     exactly the historical serial loop's, so parallel and serial sweeps
-    aggregate identically.
+    aggregate identically.  ``backends`` optionally tags each load's
+    point with the engine that produced it ("packet" when omitted).
     """
     if len(results) != len(loads) * len(seeds):
         raise ValueError(
             f"expected {len(loads) * len(seeds)} results, got {len(results)}"
+        )
+    if backends is not None and len(backends) != len(loads):
+        raise ValueError(
+            f"expected {len(loads)} backend tags, got {len(backends)}"
         )
     k = len(seeds)
     points: List[SweepPoint] = []
@@ -182,9 +205,47 @@ def aggregate_sweep(
                 latency_total_mean=lat_tot_num / packets if packets else math.nan,
                 packets=packets,
                 replicas=k,
+                backend=backends[i] if backends is not None else "packet",
             )
         )
     return points
+
+
+def plan_flow_curve(
+    m: int,
+    n: int,
+    scheme: str,
+    pattern: str,
+    loads: Sequence[float],
+    cfg: SimConfig,
+    *,
+    hotspot_fraction: float = 0.5,
+    mode: str = "hybrid",
+    knee_threshold: float = flowlevel.DEFAULT_KNEE_THRESHOLD,
+    measure_ns: float = 120_000.0,
+) -> tuple:
+    """Plan one curve's backends and evaluate its flow-level points.
+
+    Returns ``(backends, flow_results)``: the per-load backend tags and
+    a dict mapping load index -> flow-level measurement (only for
+    loads tagged "flow").  Flow points are evaluated here, at planning
+    time — they cost a few bincounts, so nothing is gained by shipping
+    them to the process pool alongside the packet points.
+    """
+    if not isinstance(scheme, str):
+        raise ValueError(
+            f"flow/hybrid sweeps need a scheme name, got {scheme!r}"
+        )
+    model = flowlevel.get_flow_model(m, n, scheme, pattern, hotspot_fraction)
+    backends = flowlevel.select_backends(model, cfg, loads, mode, knee_threshold)
+    flow_results = {
+        i: flowlevel.evaluate_point(
+            model, cfg, loads[i], measure_ns=measure_ns
+        )
+        for i, backend in enumerate(backends)
+        if backend == "flow"
+    }
+    return backends, flow_results
 
 
 def run_sweep(
@@ -201,30 +262,83 @@ def run_sweep(
     seeds: Sequence[int] = (1,),
     jobs: Optional[int] = 1,
     cache: bool = True,
+    mode: str = "packet",
+    knee_threshold: float = flowlevel.DEFAULT_KNEE_THRESHOLD,
 ) -> List[SweepPoint]:
     """Sweep offered loads, averaging over seeds.
 
     ``jobs`` fans the independent (load, seed) points out over a
     process pool; ``jobs=1`` (default) runs them inline.  The returned
     points are bit-identical either way.
+
+    ``mode`` selects the engine: "packet" (the simulator, default),
+    "flow" (the :mod:`~repro.experiments.flowlevel` evaluator for
+    every point), or "hybrid" (flow-level where the peak utilization
+    stays below ``knee_threshold``, packet simulation at and past the
+    knee).  Hybrid packet points are bit-identical to ``mode="packet"``.
     """
+    if mode not in SWEEP_MODES:
+        raise ValueError(f"unknown sweep mode {mode!r}; expected {SWEEP_MODES}")
     if not loads:
         raise ValueError("need at least one load point")
     if not seeds:
         raise ValueError("need at least one seed")
     cfg = cfg or SimConfig()
-    specs = sweep_specs(
+    if mode == "packet":
+        specs = sweep_specs(
+            m,
+            n,
+            scheme,
+            pattern,
+            loads,
+            cfg=cfg,
+            hotspot_fraction=hotspot_fraction,
+            warmup_ns=warmup_ns,
+            measure_ns=measure_ns,
+            seeds=seeds,
+            cache=cache,
+        )
+        results = execute_points(specs, jobs=jobs)
+        return aggregate_sweep(scheme, cfg, loads, seeds, results)
+    backends, flow_results = plan_flow_curve(
         m,
         n,
         scheme,
         pattern,
         loads,
-        cfg=cfg,
+        cfg,
         hotspot_fraction=hotspot_fraction,
-        warmup_ns=warmup_ns,
+        mode=mode,
+        knee_threshold=knee_threshold,
         measure_ns=measure_ns,
-        seeds=seeds,
-        cache=cache,
     )
-    results = execute_points(specs, jobs=jobs)
-    return aggregate_sweep(scheme, cfg, loads, seeds, results)
+    packet_loads = [
+        offered
+        for offered, backend in zip(loads, backends)
+        if backend == "packet"
+    ]
+    packet_results = []
+    if packet_loads:
+        specs = sweep_specs(
+            m,
+            n,
+            scheme,
+            pattern,
+            packet_loads,
+            cfg=cfg,
+            hotspot_fraction=hotspot_fraction,
+            warmup_ns=warmup_ns,
+            measure_ns=measure_ns,
+            seeds=seeds,
+            cache=cache,
+        )
+        packet_results = execute_points(specs, jobs=jobs)
+    results = []
+    taken = 0
+    for i in range(len(loads)):
+        if i in flow_results:
+            results.extend([flow_results[i]] * len(seeds))
+        else:
+            results.extend(packet_results[taken : taken + len(seeds)])
+            taken += len(seeds)
+    return aggregate_sweep(scheme, cfg, loads, seeds, results, backends=backends)

@@ -9,12 +9,20 @@ observations compare ("the throughput of the MLID scheme is higher…").
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.experiments import flowlevel
 from repro.experiments.configs import ExperimentConfig
 from repro.experiments.parallel import execute_points
-from repro.experiments.runner import SweepPoint, aggregate_sweep, sweep_specs
+from repro.experiments.runner import (
+    SWEEP_MODES,
+    SweepPoint,
+    aggregate_sweep,
+    plan_flow_curve,
+    sweep_specs,
+)
 from repro.ib.config import SimConfig
 
 __all__ = ["FigureResult", "run_figure", "saturation_throughput"]
@@ -36,7 +44,11 @@ class FigureResult:
 
     def summary_rows(self) -> List[dict]:
         """One row per curve: its saturation throughput and the latency
-        at the lowest load (the 'zero-load' latency)."""
+        at the lowest load (the 'zero-load' latency).
+
+        Empty curves yield NaN entries instead of raising — one failed
+        curve must not poison the whole figure report.
+        """
         rows = []
         for (scheme, vls), points in sorted(self.curves.items()):
             rows.append(
@@ -44,16 +56,22 @@ class FigureResult:
                     "scheme": scheme,
                     "vls": vls,
                     "saturation": saturation_throughput(points),
-                    "low_load_latency": points[0].latency_mean,
+                    "low_load_latency": points[0].latency_mean
+                    if points
+                    else math.nan,
                 }
             )
         return rows
 
 
 def saturation_throughput(points: List[SweepPoint]) -> float:
-    """The throughput the paper reads off a curve: max accepted traffic."""
+    """The throughput the paper reads off a curve: max accepted traffic.
+
+    An empty curve degrades to NaN (it used to raise ``ValueError``,
+    which poisoned every report touching the figure).
+    """
     if not points:
-        raise ValueError("empty curve")
+        return math.nan
     return max(p.accepted for p in points)
 
 
@@ -64,6 +82,8 @@ def run_figure(
     base_cfg: SimConfig | None = None,
     jobs: Optional[int] = 1,
     cache: bool = True,
+    mode: str = "packet",
+    knee_threshold: float = flowlevel.DEFAULT_KNEE_THRESHOLD,
 ) -> FigureResult:
     """Run every (scheme, VL) curve of one figure config.
 
@@ -72,45 +92,88 @@ def run_figure(
     ``base_cfg`` overrides simulation constants (VL count is set per
     curve on top of it).
 
-    ``jobs`` parallelizes across *all* of the figure's points (every
-    curve × load × seed) in one process-pool dispatch, so even a
-    figure with more curves than loads keeps every worker busy;
+    ``jobs`` parallelizes across *all* of the figure's packet-simulated
+    points (every curve × load × seed) in one process-pool dispatch, so
+    even a figure with more curves than loads keeps every worker busy;
     ``jobs=1`` runs the historical serial loop.  Results are
     bit-identical for any ``jobs``.
+
+    ``mode`` selects the engine per point: "packet" (default), "flow"
+    (the vectorized flow-level evaluator everywhere — FT(32, 3)-scale
+    figures in minutes), or "hybrid" (flow-level below the
+    ``knee_threshold`` peak utilization, packet simulation at and past
+    the knee; see :mod:`repro.experiments.flowlevel`).  Each
+    :class:`SweepPoint` carries the backend that produced it, and
+    hybrid packet points are bit-identical to ``mode="packet"``.
     """
+    if mode not in SWEEP_MODES:
+        raise ValueError(f"unknown sweep mode {mode!r}; expected {SWEEP_MODES}")
     base_cfg = base_cfg or SimConfig()
     loads = config.quick_loads if quick else config.loads
     warmup = config.quick_warmup_ns if quick else config.warmup_ns
     measure = config.quick_measure_ns if quick else config.measure_ns
     seeds = config.quick_seeds if quick else config.seeds
-    # One flat spec list covering every curve, in curve-major order.
+    # One flat spec list covering every curve's *packet* points, in
+    # curve-major order; flow points are evaluated during planning.
     curve_cfgs: List[Tuple[CurveKey, SimConfig]] = []
+    curve_plans: List[Tuple[List[str], dict, int]] = []
     specs = []
     for vls in config.vl_counts:
         cfg = base_cfg.with_vls(vls)
         for scheme in config.schemes:
             curve_cfgs.append(((scheme, vls), cfg))
-            specs.extend(
-                sweep_specs(
+            if mode == "packet":
+                backends = ["packet"] * len(loads)
+                flow_results: dict = {}
+            else:
+                backends, flow_results = plan_flow_curve(
                     config.m,
                     config.n,
                     scheme,
                     config.pattern,
                     loads,
-                    cfg=cfg,
+                    cfg,
                     hotspot_fraction=config.hotspot_fraction,
-                    warmup_ns=warmup,
+                    mode=mode,
+                    knee_threshold=knee_threshold,
                     measure_ns=measure,
-                    seeds=seeds,
-                    cache=cache,
                 )
-            )
+            curve_plans.append((backends, flow_results, len(specs)))
+            packet_loads = [
+                offered
+                for offered, backend in zip(loads, backends)
+                if backend == "packet"
+            ]
+            if packet_loads:
+                specs.extend(
+                    sweep_specs(
+                        config.m,
+                        config.n,
+                        scheme,
+                        config.pattern,
+                        packet_loads,
+                        cfg=cfg,
+                        hotspot_fraction=config.hotspot_fraction,
+                        warmup_ns=warmup,
+                        measure_ns=measure,
+                        seeds=seeds,
+                        cache=cache,
+                    )
+                )
     results = execute_points(specs, jobs=jobs)
     result = FigureResult(config=config)
-    per_curve = len(loads) * len(seeds)
-    for i, ((scheme, vls), cfg) in enumerate(curve_cfgs):
-        chunk = results[i * per_curve : (i + 1) * per_curve]
+    for ((scheme, vls), cfg), (backends, flow_results, start) in zip(
+        curve_cfgs, curve_plans
+    ):
+        chunk: List[dict] = []
+        taken = start
+        for i in range(len(loads)):
+            if i in flow_results:
+                chunk.extend([flow_results[i]] * len(seeds))
+            else:
+                chunk.extend(results[taken : taken + len(seeds)])
+                taken += len(seeds)
         result.curves[(scheme, vls)] = aggregate_sweep(
-            scheme, cfg, loads, seeds, chunk
+            scheme, cfg, loads, seeds, chunk, backends=backends
         )
     return result

@@ -14,6 +14,7 @@ the suffix ``p_α … p_{n-1}`` in the same radix system (Definition 4).
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Iterator, List, Tuple
 
 from repro.topology.labels import (
@@ -38,12 +39,18 @@ __all__ = [
 ]
 
 
+@lru_cache(maxsize=None)
 def num_nodes(m: int, n: int) -> int:
-    """Number of processing nodes of FT(m, n): ``2 * (m/2)^n``."""
+    """Number of processing nodes of FT(m, n): ``2 * (m/2)^n``.
+
+    Memoized: the sweep stack and the analytical bounds call this per
+    point of every curve (the arity check dominates the arithmetic).
+    """
     check_arity(m, n)
     return 2 * (m // 2) ** n
 
 
+@lru_cache(maxsize=None)
 def num_switches(m: int, n: int) -> int:
     """Number of switches of FT(m, n): ``(2n - 1) * (m/2)^(n-1)``."""
     check_arity(m, n)

@@ -190,6 +190,50 @@ def test_aggregate_queries_raise_on_broken_routes():
         kernel.link_loads_all_to_one(dst)
 
 
+@pytest.mark.parametrize("m,n", MN)
+@pytest.mark.parametrize("cls", SCHEMES, ids=lambda c: c.name)
+def test_accumulate_link_loads_matches_all_to_one(m, n, cls):
+    """One-hot weights on the selected routes to one destination are
+    bit-identical to link_loads_all_to_one (integer accumulation is
+    exact in float64)."""
+    ft = FatTree(m, n)
+    scheme = cls(ft)
+    kernel = compile_kernel(scheme)
+    dst = ft.nodes[0]
+    d = ft.node_id(dst)
+    weights = np.zeros((kernel.num_leaves, kernel.num_lids))
+    for s in range(kernel.num_nodes):
+        if s == d:
+            continue
+        lid = int(kernel.selected[s, d])
+        weights[kernel.attach_leaf[s], lid - 1] += 1.0
+    loads = kernel.accumulate_link_loads(weights)
+    expected = kernel.link_loads_all_to_one(dst)
+    got = {
+        (ft.switches[i], k): loads[i, k]
+        for i in range(kernel.num_switches)
+        for k in range(kernel.m)
+        if loads[i, k]
+    }
+    assert got == dict(expected)
+
+
+def test_accumulate_link_loads_counts_every_hop():
+    """Unit weight on every route: each route contributes exactly
+    route_len channel loads (inter-switch hops + the ejection hop)."""
+    kernel = compile_kernel(MlidScheme(FatTree(4, 2)))
+    ones = np.ones((kernel.num_leaves, kernel.num_lids))
+    loads = kernel.accumulate_link_loads(ones)
+    assert loads.shape == (kernel.num_switches, kernel.m)
+    assert loads.sum() == kernel.route_len.sum()
+
+
+def test_accumulate_link_loads_shape_validated():
+    kernel = compile_kernel(MlidScheme(FatTree(4, 2)))
+    with pytest.raises(ValueError, match="weights must be"):
+        kernel.accumulate_link_loads(np.ones((3, 3)))
+
+
 def test_from_lfts_matches_from_scheme():
     """Compiling from programmed LFTs (1-based physical ports) equals
     compiling from the scheme's 0-based tables."""

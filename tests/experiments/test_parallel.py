@@ -67,6 +67,23 @@ def test_jobs_validation():
         run_sweep(4, 2, "mlid", "uniform", [0.1], jobs=0, seeds=(1,), **FAST)
 
 
+def test_more_jobs_than_points():
+    """Oversized pools (jobs > points) must not drop, duplicate or
+    reorder results."""
+    kwargs = dict(seeds=(1,), **FAST)
+    serial = run_sweep(4, 2, "mlid", "uniform", [0.1, 0.3], **kwargs)
+    flooded = run_sweep(4, 2, "mlid", "uniform", [0.1, 0.3], jobs=16, **kwargs)
+    assert serial == flooded
+
+    cfg = SimConfig()
+    specs = sweep_specs(
+        4, 2, "mlid", "uniform", [0.05], cfg=cfg, seeds=(1,), **FAST
+    )
+    results = execute_points(specs, jobs=8)
+    assert len(results) == 1
+    assert results[0] == run_spec(specs[0])
+
+
 def test_point_spec_is_picklable():
     import pickle
 

@@ -57,8 +57,23 @@ def test_saturation_throughput():
         4, 2, "mlid", "uniform", [0.05, 0.1], seeds=(1,), **FAST
     )
     assert saturation_throughput(points) == max(p.accepted for p in points)
-    with pytest.raises(ValueError):
-        saturation_throughput([])
+
+
+def test_saturation_throughput_empty_curve_is_nan():
+    # An empty curve degrades to NaN rather than raising and poisoning
+    # the whole figure report.
+    assert math.isnan(saturation_throughput([]))
+
+
+def test_unknown_sweep_mode_rejected():
+    with pytest.raises(ValueError, match="unknown sweep mode"):
+        run_sweep(4, 2, "mlid", "uniform", [0.1], seeds=(1,), mode="magic")
+
+
+def test_points_default_packet_backend():
+    points = run_sweep(4, 2, "mlid", "uniform", [0.1], seeds=(1,), **FAST)
+    assert points[0].backend == "packet"
+    assert points[0].as_row()["backend"] == "packet"
 
 
 def test_custom_cfg_respected():

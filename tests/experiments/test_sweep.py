@@ -1,9 +1,12 @@
 """Tests for full-figure orchestration (tiny synthetic config)."""
 
+import math
+
 import pytest
 
 from repro.experiments.configs import ExperimentConfig
-from repro.experiments.sweep import run_figure
+from repro.experiments.runner import run_sweep
+from repro.experiments.sweep import FigureResult, run_figure
 from repro.ib.config import SimConfig
 
 TINY = ExperimentConfig(
@@ -67,6 +70,91 @@ def test_base_cfg_override():
     cfg = SimConfig(packet_bytes=128)
     res = run_figure(TINY, quick=True, base_cfg=cfg)
     assert res.curves[("mlid", 1)][0].packets > 0
+
+
+def test_chunk_slicing_with_mismatched_loads_and_seeds():
+    """Per-curve result slicing must stay aligned when len(loads) !=
+    len(seeds): every curve is bit-identical to its own run_sweep."""
+    config = ExperimentConfig(
+        id="tiny-3x2",
+        title="3 loads x 2 seeds",
+        m=4,
+        n=2,
+        pattern="uniform",
+        vl_counts=(1, 2),
+        quick_loads=(0.05, 0.1, 0.2),
+        quick_seeds=(1, 2),
+        quick_warmup_ns=1_000.0,
+        quick_measure_ns=8_000.0,
+    )
+    res = run_figure(config, quick=True)
+    assert len(res.curves) == 4
+    for (scheme, vls), points in res.curves.items():
+        assert [p.offered for p in points] == [0.05, 0.1, 0.2]
+        assert all(p.replicas == 2 for p in points)
+        expected = run_sweep(
+            4,
+            2,
+            scheme,
+            "uniform",
+            [0.05, 0.1, 0.2],
+            cfg=SimConfig().with_vls(vls),
+            seeds=(1, 2),
+            warmup_ns=1_000.0,
+            measure_ns=8_000.0,
+        )
+        assert points == expected
+
+
+def test_hybrid_figure_reassembles_mixed_backends():
+    """Hybrid curves interleave flow and packet results per load; the
+    packet slices must land on the right (curve, load, seed) cells."""
+    config = ExperimentConfig(
+        id="tiny-hybrid",
+        title="hybrid split figure",
+        m=4,
+        n=2,
+        pattern="uniform",
+        vl_counts=(1,),
+        quick_loads=(0.05, 5.0),
+        quick_seeds=(1, 2),
+        quick_warmup_ns=1_000.0,
+        quick_measure_ns=8_000.0,
+    )
+    res = run_figure(config, quick=True, mode="hybrid")
+    for (scheme, vls), points in res.curves.items():
+        assert [p.backend for p in points] == ["flow", "packet"]
+        expected = run_sweep(
+            4,
+            2,
+            scheme,
+            "uniform",
+            [0.05, 5.0],
+            cfg=SimConfig().with_vls(vls),
+            seeds=(1, 2),
+            warmup_ns=1_000.0,
+            measure_ns=8_000.0,
+            mode="hybrid",
+        )
+        assert points == expected
+
+
+def test_unknown_figure_mode_rejected():
+    with pytest.raises(ValueError, match="unknown sweep mode"):
+        run_figure(TINY, quick=True, mode="nope")
+
+
+def test_summary_rows_empty_curve_degrades_to_nan(result):
+    partial = FigureResult(config=TINY, curves=dict(result.curves))
+    partial.curves[("updn", 1)] = []
+    rows = partial.summary_rows()
+    empty = [r for r in rows if r["scheme"] == "updn"]
+    assert len(empty) == 1
+    assert math.isnan(empty[0]["saturation"])
+    assert math.isnan(empty[0]["low_load_latency"])
+    assert math.isnan(partial.saturation("updn", 1))
+    # The populated curves are unaffected.
+    assert sum(r["saturation"] > 0 for r in rows) == 4
 
 
 def test_centric_figure_runs():

@@ -196,6 +196,48 @@ def test_sweep_command_parallel_matches_serial(capsys):
     assert serial_out.splitlines()[1:] == parallel_out.splitlines()[1:]
 
 
+def test_sweep_flow_mode(capsys, tmp_path):
+    csv_path = tmp_path / "flow.csv"
+    assert (
+        main(
+            [
+                "sweep", "4", "2",
+                "--scheme", "mlid",
+                "--loads", "0.05,0.1",
+                "--mode", "flow",
+                "--csv", str(csv_path),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "MLID on FT(4,2)" in out
+    text = csv_path.read_text()
+    assert "flow" in text  # backend column tags the evaluator
+
+
+def test_sweep_hybrid_mode_with_threshold(capsys):
+    assert (
+        main(
+            [
+                "sweep", "4", "2",
+                "--loads", "0.05",
+                "--mode", "hybrid",
+                "--knee-threshold", "0.9",
+                "--warmup", "1000",
+                "--measure", "6000",
+            ]
+        )
+        == 0
+    )
+    assert "offered" in capsys.readouterr().out
+
+
+def test_sweep_unknown_mode_rejected():
+    with pytest.raises(SystemExit):
+        main(["sweep", "4", "2", "--loads", "0.1", "--mode", "warp"])
+
+
 def test_sweep_bad_loads_rejected():
     with pytest.raises(SystemExit):
         main(["sweep", "4", "2", "--loads", "abc"])
