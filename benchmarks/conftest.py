@@ -11,7 +11,11 @@ what the committed EXPERIMENTS.md numbers used).
 
 from __future__ import annotations
 
+import json
 import os
+import subprocess
+import sys
+from datetime import datetime, timezone
 from pathlib import Path
 
 import pytest
@@ -23,6 +27,52 @@ from repro.experiments import (
 )
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def provenance() -> dict:
+    """Machine/tree provenance stamped into every ``BENCH_*.json``.
+
+    Performance numbers are meaningless without knowing what produced
+    them — in particular ``cpu_count`` qualifies any parallel-speedup
+    claim (a 1-core CI box cannot show one).
+    """
+    try:
+        commit = (
+            subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=Path(__file__).parent,
+                capture_output=True,
+                text=True,
+                timeout=10,
+            ).stdout.strip()
+            or None
+        )
+    except (OSError, subprocess.SubprocessError):
+        commit = None
+    return {
+        "commit": commit,
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
+        "timestamp_utc": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+    }
+
+
+def write_bench_json(name: str, report: dict, *, full: bool) -> Path:
+    """Write one ``BENCH_*.json`` with the provenance stamp prepended.
+
+    Quick-grid runs land in ``results/quick/`` so they never clobber
+    the committed full-protocol evidence in ``results/``.
+    """
+    stamped = {"provenance": provenance(), **report}
+    out_dir = RESULTS_DIR if full else RESULTS_DIR / "quick"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / name
+    path.write_text(
+        json.dumps(stamped, indent=2) + "\n", encoding="utf-8"
+    )
+    return path
 
 
 @pytest.fixture

@@ -26,10 +26,8 @@ Set ``REPRO_BENCH_FULL=1`` for the committed-evidence protocol
 """
 
 import gc
-import json
 import os
 import time
-from pathlib import Path
 
 import pytest
 
@@ -39,7 +37,8 @@ from repro.sim.wheel import make_engine
 from repro.traffic import UniformPattern
 from repro.traffic.patterns import make_pattern
 
-RESULTS_DIR = Path(__file__).parent / "results"
+from conftest import write_bench_json
+
 
 #: The locked FT(8,3) benchmark configuration (see DESIGN.md §9).
 BENCH_CONFIG = dict(
@@ -173,10 +172,7 @@ def test_backend_speedup_ft8_3():
         },
         "speedup_packets_per_s": round(speedup, 3),
     }
-    out_dir = RESULTS_DIR if full else RESULTS_DIR / "quick"
-    out_dir.mkdir(parents=True, exist_ok=True)
-    path = out_dir / "BENCH_engine.json"
-    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    path = write_bench_json("BENCH_engine.json", report, full=full)
     print(f"\nwheel speedup over heap: {speedup:.2f}x  -> {path}")
 
     # Regression guard, deliberately looser than the committed-evidence

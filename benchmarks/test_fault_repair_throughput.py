@@ -43,10 +43,8 @@ sweeps) and recorded as null.
 """
 
 import gc
-import json
 import os
 import time
-from pathlib import Path
 
 import numpy as np
 
@@ -56,7 +54,8 @@ from repro.core.forwarding import MlidScheme
 from repro.core.scheme import get_scheme
 from repro.topology.fattree import FatTree
 
-RESULTS_DIR = Path(__file__).parent / "results"
+from conftest import write_bench_json
+
 
 SCENARIOS = ["single-link", "multi-link", "flapping"]
 
@@ -198,10 +197,7 @@ def test_repair_speedup():
         },
         "networks": report_nets,
     }
-    out_dir = RESULTS_DIR if full else RESULTS_DIR / "quick"
-    out_dir.mkdir(parents=True, exist_ok=True)
-    path = out_dir / "BENCH_fault_repair.json"
-    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    path = write_bench_json("BENCH_fault_repair.json", report, full=full)
     print(f"\nfault-repair benchmark grid={'full' if full else 'quick'} -> {path}")
 
     # Regression guards, looser than the committed-evidence headline:

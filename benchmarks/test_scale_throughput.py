@@ -30,11 +30,9 @@ and the load grid would be flat.
 
 from __future__ import annotations
 
-import json
 import math
 import os
 import time
-from pathlib import Path
 
 from repro.experiments import flowlevel
 from repro.experiments.configs import FIGURES, get_experiment
@@ -42,7 +40,8 @@ from repro.experiments.report import render_table
 from repro.experiments.sweep import run_figure, saturation_throughput
 from repro.ib.config import SimConfig
 
-RESULTS_DIR = Path(__file__).parent / "results"
+from conftest import write_bench_json
+
 
 FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 
@@ -179,10 +178,7 @@ def test_scale_flow_sweep():
         "points_per_s": round(num_points / eval_wall, 2),
         "curves": curves,
     }
-    out_dir = RESULTS_DIR if FULL else RESULTS_DIR / "quick"
-    out_dir.mkdir(parents=True, exist_ok=True)
-    path = out_dir / "BENCH_scale.json"
-    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    path = write_bench_json("BENCH_scale.json", report, full=FULL)
     print(
         f"\n{report['benchmark']}: {num_points} points in "
         f"{total_wall:.1f}s ({report['wall_s']['compile']}s compile) "

@@ -159,9 +159,12 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     if config.m == 0:
         raise SystemExit(f"{args.id} is not a simulated figure; see `repro-ibft list`")
     print(config.describe())
+    from repro.ib.config import SimConfig
+
     result = run_figure(
         config,
         quick=not args.full,
+        base_cfg=SimConfig(**resolve_engine(args)),
         jobs=args.jobs,
         mode=args.mode,
         knee_threshold=args.knee_threshold,
@@ -187,7 +190,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         args.scheme,
         args.pattern,
         loads,
-        cfg=SimConfig(num_vls=args.vls, engine=args.engine),
+        cfg=SimConfig(num_vls=args.vls, **resolve_engine(args)),
         warmup_ns=args.warmup,
         measure_ns=args.measure,
         seeds=seeds,
@@ -222,27 +225,44 @@ def _cmd_draw(args: argparse.Namespace) -> int:
 
 def _cmd_probe(args: argparse.Namespace) -> int:
     from repro.ib.config import SimConfig
-    from repro.ib.instrumentation import probe_fabric, routing_pressure
-    from repro.ib.subnet import build_subnet
-    from repro.traffic import make_pattern
 
-    net = build_subnet(
-        args.m, args.n, args.scheme, SimConfig(num_vls=args.vls, engine=args.engine)
-    )
-    kwargs = {"hot_pid": 0, "fraction": 0.5} if args.pattern == "centric" else {}
-    net.attach_pattern(make_pattern(args.pattern, net.num_nodes, **kwargs))
-    res = net.run_measurement(args.load, warmup_ns=15_000, measure_ns=60_000)
+    cfg = SimConfig(num_vls=args.vls, **resolve_engine(args))
+    if cfg.engine == "sharded":
+        from repro.sim.sharded import run_sharded_probe
+
+        res, report, pressure_rows = run_sharded_probe(
+            args.m,
+            args.n,
+            args.scheme,
+            args.pattern,
+            args.load,
+            cfg=cfg,
+            warmup_ns=15_000,
+            measure_ns=60_000,
+        )
+    else:
+        from repro.ib.instrumentation import probe_fabric, routing_pressure
+        from repro.ib.subnet import build_subnet
+        from repro.traffic import make_pattern
+
+        net = build_subnet(args.m, args.n, args.scheme, cfg)
+        kwargs = (
+            {"hot_pid": 0, "fraction": 0.5} if args.pattern == "centric" else {}
+        )
+        net.attach_pattern(make_pattern(args.pattern, net.num_nodes, **kwargs))
+        res = net.run_measurement(args.load, warmup_ns=15_000, measure_ns=60_000)
+        report = probe_fabric(net)
+        pressure_rows = routing_pressure(net)
     print(
         f"{args.scheme.upper()} on FT({args.m},{args.n}), {args.pattern} @ "
         f"{args.load}: accepted {res['accepted']:.4f} bytes/ns/node, "
         f"latency {res['latency_mean']:.0f} ns"
     )
-    report = probe_fabric(net)
     print(render_table(report.layer_stats(), title="\nutilization by layer"))
     print("hottest channels:")
     for link in report.hottest(5):
         print(f"  {link.name:34s} {link.utilization:6.1%}  {link.packets} pkts")
-    hot_switch, pressure = routing_pressure(net)[0]
+    hot_switch, pressure = pressure_rows[0]
     print(
         f"busiest routing engine: {format_switch(*hot_switch)} at "
         f"{pressure:.1%} occupancy"
@@ -291,7 +311,7 @@ def _cmd_failover(args: argparse.Namespace) -> int:
     cfg = SimConfig(
         detection_latency_ns=args.detect_latency,
         sm_program_time_ns=args.program_time,
-        engine=args.engine,
+        **resolve_engine(args),
     )
     ft = FatTree(args.m, args.n)
     if args.switch is not None:
@@ -357,6 +377,52 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     print(f"schemes : {', '.join(available_schemes())}")
     print(f"patterns: {', '.join(available_patterns())}")
     return 0
+
+
+#: Engine backends the CLI accepts (single shared definition so every
+#: subcommand — sweep, probe, failover, figure — stays in step).
+ENGINE_CHOICES = ("wheel", "heap", "sharded")
+
+
+def add_engine_args(p: argparse.ArgumentParser) -> None:
+    """The shared ``--engine`` / ``--shards`` options."""
+    p.add_argument(
+        "--engine",
+        default="wheel",
+        metavar="{wheel,heap,sharded}",
+        help=(
+            "event-scheduler backend: wheel|heap are single-process and "
+            "bit-identical (DESIGN.md §9); sharded runs K wheel shards "
+            "in parallel processes (DESIGN.md §12)"
+        ),
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="shard-process count for --engine sharded (default: 1)",
+    )
+
+
+def resolve_engine(args: argparse.Namespace) -> dict:
+    """Validate ``--engine``/``--shards`` into SimConfig kwargs.
+
+    Raises a readable ``SystemExit`` for unknown engine names instead
+    of an argparse choices traceback.
+    """
+    if args.engine not in ENGINE_CHOICES:
+        raise SystemExit(
+            f"unknown engine {args.engine!r}: expected one of "
+            + ", ".join(ENGINE_CHOICES)
+        )
+    if args.shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+    if args.shards > 1 and args.engine != "sharded":
+        raise SystemExit(
+            f"--shards only applies to --engine sharded (got engine "
+            f"{args.engine!r})"
+        )
+    return {"engine": args.engine, "shards": args.shards}
 
 
 def _add_mode_args(p: argparse.ArgumentParser) -> None:
@@ -434,6 +500,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for the sweep points (default: 1, serial)",
     )
+    add_engine_args(p)
     _add_mode_args(p)
     p.set_defaults(func=_cmd_figure)
 
@@ -454,12 +521,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the sweep points (default: 1, serial)",
     )
     p.add_argument("--csv", help="also write the points to a CSV file")
-    p.add_argument(
-        "--engine",
-        default="wheel",
-        choices=["wheel", "heap"],
-        help="event-scheduler backend (bit-identical results; see DESIGN.md §9)",
-    )
+    add_engine_args(p)
     _add_mode_args(p)
     p.set_defaults(func=_cmd_sweep)
 
@@ -476,12 +538,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pattern", default="uniform")
     p.add_argument("--load", type=float, default=0.3)
     p.add_argument("--vls", type=int, default=1)
-    p.add_argument(
-        "--engine",
-        default="wheel",
-        choices=["wheel", "heap"],
-        help="event-scheduler backend (bit-identical results; see DESIGN.md §9)",
-    )
+    add_engine_args(p)
     p.set_defaults(func=_cmd_probe)
 
     p = sub.add_parser("faults", help="repair tables around random link failures")
@@ -539,12 +596,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="force the scalar repair oracle (default: vectorized fault kernel)",
     )
-    p.add_argument(
-        "--engine",
-        default="wheel",
-        choices=["wheel", "heap"],
-        help="event-scheduler backend (bit-identical results; see DESIGN.md §9)",
-    )
+    add_engine_args(p)
     p.set_defaults(func=_cmd_failover)
 
     p = sub.add_parser("list", help="list experiments, schemes, patterns")

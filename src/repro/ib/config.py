@@ -97,8 +97,12 @@ class SimConfig:
     #: Event-engine backend: "wheel" (hierarchical timing wheel with
     #: pooled events and the fused hop fast path — the default) or
     #: "heap" (the original binary-heap calendar queue, kept as the
-    #: bit-identical oracle).  See repro.sim.wheel and DESIGN.md §9.
+    #: bit-identical oracle).  ``"sharded"`` runs K wheel engines in
+    #: separate processes under the conservative barrier-window
+    #: protocol (repro.sim.sharded, DESIGN.md §12).
     engine: str = "wheel"
+    #: Shard-process count for ``engine="sharded"`` (ignored otherwise).
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.flying_time_ns < 0 or self.routing_time_ns < 0:
@@ -151,9 +155,17 @@ class SimConfig:
             raise ValueError("detection_latency_ns must be non-negative")
         if self.sm_program_time_ns < 0:
             raise ValueError("sm_program_time_ns must be non-negative")
-        if self.engine not in ("wheel", "heap"):
+        if self.engine not in ("wheel", "heap", "sharded"):
             raise ValueError(
-                f"unknown engine backend {self.engine!r} (wheel|heap)"
+                f"unknown engine backend {self.engine!r} "
+                "(wheel|heap|sharded)"
+            )
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.engine == "sharded" and self.flying_time_ns <= 0:
+            raise ValueError(
+                "engine='sharded' needs flying_time_ns > 0: the link "
+                "flying time is the conservative protocol's lookahead"
             )
 
     @property

@@ -1,0 +1,283 @@
+"""Proxy link endpoints for cross-shard channels (sharded engine).
+
+A cut link (see :mod:`repro.topology.partition`) has its transmitter in
+one shard process and its input unit in another.  Each side is replaced
+by a *boundary* subclass that turns the two cross-process interactions
+— header delivery and credit return — into messages in the shard's
+:class:`Outbox` instead of local engine events:
+
+* :class:`BoundaryTransmitter` serializes exactly like the real
+  transmitter (credit consumed, wire held for ``size * byte_time``),
+  but the header-delivery event becomes a packet message with apply
+  time ``now + flying_time``.
+* :class:`BoundaryInputUnit` routes and moves packets exactly like the
+  real input unit, but the credit-return event becomes a credit
+  message with apply time ``now + flying_time``.
+
+The messages are enqueued at *schedule* time, not at fire time — that
+is what gives the conservative protocol its full ``flying_time`` of
+lookahead (DESIGN.md §12): every cross-shard effect is known one full
+window before it applies.
+
+Both subclasses keep ``_fused = False`` / stay off the wheel engine's
+fused hop fast path: a boundary transmitter has no local receiver to
+fuse into, and a boundary input unit only ever receives via the
+general ``receive()`` path (its upstream is in another process), so
+every fastpath branch that could touch them falls back to the general
+code by construction.
+
+FIFO and flow control survive the boundary: per-channel messages are
+produced in simulation-time order and applied in that order (the
+coordinator sorts by apply time with a deterministic tie-break), and
+the credit loop is the same consume-on-send / restore-on-move cycle as
+a local link, just carried by messages.
+
+One documented semantic difference (DESIGN.md §12): on a *failed*
+boundary transmitter the on-wire packet counts as sent — the header
+message was enqueued at transmission start and cannot be recalled —
+whereas a local link loses the packet when the failure lands inside
+its ``flying_time`` window.  Scripted failover therefore keeps victim
+links intra-shard (enforced by :mod:`repro.sim.sharded`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ib.config import SimConfig
+from repro.ib.link import Transmitter
+from repro.ib.packet import Packet
+from repro.ib.switch import InputUnit, SwitchModel
+from repro.sim.engine import Engine
+
+__all__ = [
+    "MSG_PKT",
+    "MSG_CREDIT",
+    "Outbox",
+    "BoundaryTransmitter",
+    "BoundaryInputUnit",
+    "pack_packet",
+    "unpack_packet",
+]
+
+#: Cross-shard message kinds.
+MSG_PKT = 0
+MSG_CREDIT = 1
+
+
+def pack_packet(packet: Packet) -> tuple:
+    """Compact wire form of a packet crossing a shard boundary.
+
+    Carries the routed header (DLID, VL), sizes, sequencing
+    (message id / tail marker) and the injection metadata the
+    measurement clocks need; the per-process ``serial`` is not shipped
+    (the receiving shard assigns its own).
+    """
+    return (
+        packet.slid,
+        packet.dlid,
+        packet.src_pid,
+        packet.dst_pid,
+        packet.size_bytes,
+        packet.vl,
+        packet.t_created,
+        packet.t_injected,
+        packet.hops,
+        packet.message_id,
+        packet.is_message_tail,
+        packet.route,
+    )
+
+
+def unpack_packet(payload: tuple) -> Packet:
+    """Rebuild a packet from :func:`pack_packet`'s wire form."""
+    (
+        slid,
+        dlid,
+        src_pid,
+        dst_pid,
+        size_bytes,
+        vl,
+        t_created,
+        t_injected,
+        hops,
+        message_id,
+        is_message_tail,
+        route,
+    ) = payload
+    packet = Packet(
+        slid, dlid, src_pid, dst_pid, size_bytes, vl, t_created,
+        message_id, is_message_tail,
+    )
+    packet.t_injected = t_injected
+    packet.hops = hops
+    packet.route = route
+    return packet
+
+
+class Outbox:
+    """Per-shard staging area for outbound cross-shard messages.
+
+    Messages accumulate per destination shard in production order (the
+    per-channel FIFO order); :meth:`drain` hands the batches to the
+    coordinator at each window barrier.
+    """
+
+    __slots__ = ("_batches",)
+
+    def __init__(self) -> None:
+        self._batches: Dict[int, list] = {}
+
+    def send(
+        self, dest_shard: int, time: float, kind: int, chan: int, payload
+    ) -> None:
+        """Stage one message applying at ``time`` in ``dest_shard``."""
+        batch = self._batches.get(dest_shard)
+        if batch is None:
+            batch = self._batches[dest_shard] = []
+        batch.append((time, kind, chan, payload))
+
+    def drain(self) -> Dict[int, list]:
+        """Hand over and clear the staged batches."""
+        out = self._batches
+        self._batches = {}
+        return out
+
+    @property
+    def pending(self) -> int:
+        return sum(len(b) for b in self._batches.values())
+
+
+class BoundaryTransmitter(Transmitter):
+    """Sending side of a cut link: header delivery goes to the outbox."""
+
+    __slots__ = ("_outbox", "_chan", "_dest_shard")
+
+    def __init__(
+        self,
+        engine: Engine,
+        cfg: SimConfig,
+        name: str,
+        outbox: Outbox,
+        chan: int,
+        dest_shard: int,
+    ):
+        super().__init__(engine, cfg, name)
+        self._outbox = outbox
+        self._chan = chan
+        self._dest_shard = dest_shard
+        # receiver stays None and _fused stays False: the receiving
+        # input unit lives in another process.
+
+    def connect(self, receiver: object) -> None:
+        raise RuntimeError(
+            f"{self.name}: a boundary transmitter has no local receiver"
+        )
+
+    def kick(self) -> None:
+        """Start a transmission: the oracle ``kick`` with the header
+        delivery staged as a cross-shard message instead of a local
+        event.  The message is enqueued *now*, at transmission start,
+        so the full flying time remains as protocol lookahead."""
+        if self._wire_busy:
+            return
+        if self._single_vl:
+            vl = 0
+            packet = self.buffers[0].head()
+            if packet is None or not self.credits[0].can_send():
+                return
+        else:
+            vl = self._pick_vl()
+            if vl < 0:
+                return
+            packet = self.buffers[vl].head()
+            if self.arbiter is not None:
+                self.arbiter.charge(vl, packet.size_bytes)
+        self.credits[vl].consume()
+        self._wire_busy = True
+        self._wire_vl = vl
+        engine = self.engine
+        now = engine.now
+        self._last_start = now
+        if packet.t_injected < 0:
+            packet.t_injected = now
+        deliver = now + self._flying_ns
+        self._deliver_time = deliver
+        self._outbox.send(
+            self._dest_shard, deliver, MSG_PKT, self._chan, pack_packet(packet)
+        )
+        self._deliver_ev = None
+        self._tail_ev = engine.schedule_after(
+            packet.size_bytes * self._byte_ns,
+            lambda: self._tx_done(vl),
+        )
+
+    def fail(self) -> None:
+        """Take the channel down.  The on-wire packet's header message
+        was staged at transmission start and cannot be recalled, so it
+        counts as sent (the remote input unit owns it); everything else
+        follows the oracle drop path.  Idempotent."""
+        if not self.alive:
+            return
+        self.alive = False
+        if self._tail_ev is not None:
+            self._tail_ev.cancel()
+            self._tail_ev = None
+        self._deliver_ev = None
+        if self._wire_busy:
+            self.busy_time += self.engine.now - self._last_start
+            self._wire_busy = False
+            self.buffers[self._wire_vl].pop()
+            self.packets_sent += 1
+        for buffer in self.buffers:
+            while buffer.head() is not None:
+                buffer.pop()
+                self.packets_dropped += 1
+        for queue in self.waiters:
+            while queue:
+                queue.popleft()()
+
+
+class BoundaryInputUnit(InputUnit):
+    """Receiving side of a cut link: credit returns go to the outbox."""
+
+    __slots__ = ("_outbox", "_chan", "_src_shard")
+
+    def __init__(
+        self,
+        engine: Engine,
+        cfg: SimConfig,
+        switch: SwitchModel,
+        port: int,
+        outbox: Outbox,
+        chan: int,
+        src_shard: int,
+    ):
+        super().__init__(engine, cfg, switch, port)
+        self._outbox = outbox
+        self._chan = chan
+        self._src_shard = src_shard
+        # upstream stays None: the sending transmitter lives in
+        # another process and is credited via MSG_CREDIT messages.
+
+    def _move(self, vl: int, tx: Transmitter) -> None:
+        """Oracle ``_move`` with the credit return staged as a
+        cross-shard message (at schedule time — full lookahead)."""
+        buffer = self.buffers[vl]
+        packet = buffer.pop()
+        packet.hops += 1
+        if self._record_routes:
+            if packet.route is None:
+                packet.route = []
+            packet.route.append(self.switch.name)
+        self._routing[vl] = False
+        self._outbox.send(
+            self._src_shard,
+            self.engine.now + self._flying_ns,
+            MSG_CREDIT,
+            self._chan,
+            vl,
+        )
+        tx.accept(packet)
+        if buffer.head() is not None:
+            self._start_routing(vl)

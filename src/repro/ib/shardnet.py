@@ -1,0 +1,418 @@
+"""One shard's slice of a subnet (sharded engine worker side).
+
+:func:`build_shard` is :func:`repro.ib.subnet.build_subnet` restricted
+to the switches and endnodes one shard owns under a
+:class:`~repro.topology.partition.SubtreePartition`.  Intra-shard links
+are wired exactly as in the monolithic build; each cut link's local
+end becomes a boundary proxy (:mod:`repro.ib.proxy`) speaking numbered
+*channels*:
+
+* channel ``2*i``   — cut link ``i``, root → subtree direction,
+* channel ``2*i+1`` — cut link ``i``, subtree → root direction,
+
+so both shards of a cut link derive identical channel numbers from the
+partition's deterministic ``cut_links`` order.  Packet messages on a
+channel apply at the receiving shard's :class:`BoundaryInputUnit`;
+credit messages apply at the sending shard's
+:class:`BoundaryTransmitter`.
+
+Determinism: every shard draws its node RNG streams from the *full*
+``spawn_rngs(seed, num_nodes)`` spawn and indexes by PID, so each
+node's stream is bit-identical to the monolithic build's regardless of
+the shard count.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.scheme import get_scheme
+from repro.ib.config import SimConfig
+from repro.ib.endnode import Endnode
+from repro.ib.proxy import (
+    MSG_CREDIT,
+    MSG_PKT,
+    BoundaryInputUnit,
+    BoundaryTransmitter,
+    Outbox,
+    unpack_packet,
+)
+from repro.ib.sm import SubnetManager
+from repro.ib.switch import SwitchModel
+from repro.sim.rng import spawn_rngs
+from repro.sim.stats import LatencyStats, ThroughputMeter, WarmupFilter
+from repro.sim.wheel import make_engine
+from repro.topology.fattree import FatTree
+from repro.topology.labels import SwitchLabel, format_switch
+from repro.topology.partition import SubtreePartition, partition_fattree
+
+__all__ = ["ShardNet", "build_shard"]
+
+
+class ShardNet:
+    """One shard's simulatable slice of an IBFT(m, n) subnet."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        partition: SubtreePartition,
+        ft: FatTree,
+        scheme,
+        cfg: SimConfig,
+        engine,
+        switches: Dict[SwitchLabel, SwitchModel],
+        endnodes: List[Endnode],
+        outbox: Outbox,
+        packet_sinks: Dict[int, BoundaryInputUnit],
+        credit_sinks: Dict[int, BoundaryTransmitter],
+        dlid_flat: np.ndarray,
+    ):
+        self.shard_id = shard_id
+        self.partition = partition
+        self.ft = ft
+        self.scheme = scheme
+        self.cfg = cfg
+        self.engine = engine
+        self.switches = switches
+        self.endnodes = endnodes
+        self.outbox = outbox
+        self.packet_sinks = packet_sinks
+        self.credit_sinks = credit_sinks
+        self._dlid = dlid_flat
+        self.latency: Optional[LatencyStats] = None
+        self.net_latency: Optional[LatencyStats] = None
+        self.throughput: Optional[ThroughputMeter] = None
+        for node in endnodes:
+            node.dlid_for = self.dlid_for
+
+    # ------------------------------------------------------------------
+    def dlid_for(self, src_pid: int, dst_pid: int) -> int:
+        if src_pid == dst_pid:
+            raise ValueError(f"src == dst == {src_pid}")
+        return int(self._dlid[src_pid * self.ft.num_nodes + dst_pid])
+
+    def attach_pattern(
+        self, pattern: Callable[[int], Callable[[np.random.Generator], int]]
+    ) -> None:
+        for node in self.endnodes:
+            node.choose_destination = pattern(node.pid)
+
+    # ------------------------------------------------------------------
+    def begin_measurement(
+        self, offered_load: float, warmup_ns: float, measure_ns: float
+    ) -> None:
+        """Install collectors and start generation (the front half of
+        ``Subnet.run_measurement``; the coordinator drives the clock)."""
+        if warmup_ns < 0 or measure_ns <= 0:
+            raise ValueError("warmup must be >= 0 and measure window positive")
+        window = WarmupFilter(warmup_ns, warmup_ns + measure_ns)
+        self.latency = LatencyStats(keep_samples=True)
+        self.net_latency = LatencyStats(keep_samples=True)
+        self.throughput = ThroughputMeter(window)
+        rate = self.cfg.offered_load_to_rate(offered_load)
+        for node in self.endnodes:
+            node.latency = self.latency
+            node.net_latency = self.net_latency
+            node.throughput = self.throughput
+            node.start_generation(rate)
+
+    def stop_generation(self) -> None:
+        for node in self.endnodes:
+            node.stop_generation()
+
+    # ------------------------------------------------------------------
+    def inject(self, messages: list) -> None:
+        """Schedule one window's inbound cross-shard messages.
+
+        ``messages`` arrive pre-sorted by (apply time, source shard,
+        batch index), so same-time applications are deterministic for a
+        given shard count.  Apply times always fall at or after the
+        engine's clock — anything earlier would be a conservative-
+        protocol violation, and ``engine.schedule`` raises on it.
+        """
+        schedule = self.engine.schedule
+        packet_sinks = self.packet_sinks
+        credit_sinks = self.credit_sinks
+        for time, kind, chan, payload in messages:
+            if kind == MSG_PKT:
+                sink = packet_sinks[chan]
+                packet = unpack_packet(payload)
+                schedule(time, lambda s=sink, p=packet: s.receive(p))
+            elif kind == MSG_CREDIT:
+                tx = credit_sinks[chan]
+                schedule(time, lambda t=tx, vl=payload: t.credit_return(vl))
+            else:
+                raise ValueError(f"unknown cross-shard message kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    def apply_script(self, events: list) -> None:
+        """Schedule a pre-recorded fault/programming timeline.
+
+        Events are ``(time, op, switch, arg)`` tuples with ``op`` one
+        of ``"fail"`` / ``"revive"`` (arg = 1-based physical port, both
+        link ends intra-shard) or ``"lft"`` (arg = zero-based entry
+        list from ``LinearForwardingTable.as_array()``).  Used by the
+        sharded failover runner to replay the control plane's timeline
+        inside each shard; events for switches this shard doesn't own
+        are ignored.
+        """
+        from repro.ib.lft import LinearForwardingTable
+
+        for time, op, sw, arg in events:
+            model = self.switches.get(sw)
+            if model is None:
+                continue
+            if op == "fail":
+                self.engine.schedule(
+                    time, lambda tx=model.tx[arg]: tx.fail()
+                )
+            elif op == "revive":
+                tx = model.tx[arg]
+                if tx.receiver is None:
+                    raise ValueError(
+                        f"cannot revive boundary transmitter {tx.name}: "
+                        "scripted fault links must be intra-shard"
+                    )
+
+                def _revive(tx=tx):
+                    # Link retraining: credits restart from the peer
+                    # input unit's actual free slots (mirrors
+                    # DynamicSubnetManager._link_up).
+                    tx.revive(
+                        [buf.free_slots for buf in tx.receiver.buffers]
+                    )
+
+                self.engine.schedule(time, _revive)
+            elif op == "lft":
+                # arg is ``as_array()`` form: 1-based physical ports.
+                table = LinearForwardingTable(arg, self.ft.m)
+
+                def _program(model=model, table=table):
+                    model.lft = table
+
+                self.engine.schedule(time, _program)
+            else:
+                raise ValueError(f"unknown script op {op!r}")
+
+    # ------------------------------------------------------------------
+    def _dropped_packets(self) -> int:
+        dropped = sum(node.tx.packets_dropped for node in self.endnodes)
+        for model in self.switches.values():
+            for tx in model.tx.values():
+                dropped += tx.packets_dropped
+        return dropped
+
+    def link_stats(self) -> dict:
+        """Raw per-channel counters for the coordinator's fabric report
+        (mirrors what :func:`repro.ib.instrumentation.probe_fabric`
+        reads off a monolithic subnet)."""
+        elapsed = self.engine.now
+        nodes = {
+            node.pid: (
+                node.tx.utilization(elapsed) if elapsed > 0 else 0.0,
+                node.tx.packets_sent,
+                node.tx.packets_dropped,
+            )
+            for node in self.endnodes
+        }
+        switches = {}
+        for sw, model in self.switches.items():
+            switches[sw] = {
+                phys: (
+                    tx.utilization(elapsed) if elapsed > 0 else 0.0,
+                    tx.packets_sent,
+                    tx.packets_dropped,
+                )
+                for phys, tx in model.tx.items()
+            }
+        routers = {
+            sw: (
+                model.router.ops,
+                max(1, model.router.capacity or model.num_ports),
+            )
+            for sw, model in self.switches.items()
+        }
+        return {"nodes": nodes, "switches": switches, "routers": routers}
+
+    def summary(self, include_links: bool = False) -> dict:
+        """This shard's contribution to the fleet-wide measurement."""
+        latency = self.latency
+        net_latency = self.net_latency
+        throughput = self.throughput
+
+        def _lat(stats: Optional[LatencyStats]) -> dict:
+            if stats is None:
+                return {
+                    "count": 0,
+                    "mean": 0.0,
+                    "m2": 0.0,
+                    "min": math.inf,
+                    "max": -math.inf,
+                    "samples": [],
+                }
+            return {
+                "count": stats.count,
+                "mean": stats._mean,
+                "m2": stats._m2,
+                "min": stats.min,
+                "max": stats.max,
+                "samples": list(stats._samples),
+            }
+
+        out = {
+            "shard": self.shard_id,
+            "pids": [node.pid for node in self.endnodes],
+            "generated": sum(n.packets_generated for n in self.endnodes),
+            "delivered": sum(n.packets_received for n in self.endnodes),
+            "backlog": sum(n.backlog for n in self.endnodes),
+            "lost": self._dropped_packets(),
+            "events": self.engine.events_processed,
+            "latency": _lat(latency),
+            "net_latency": _lat(net_latency),
+            "bytes_delivered": throughput.bytes_delivered if throughput else 0,
+            "packets_delivered": (
+                throughput.packets_delivered if throughput else 0
+            ),
+            "per_destination": (
+                dict(throughput._per_destination) if throughput else {}
+            ),
+        }
+        if include_links:
+            out["links"] = self.link_stats()
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardNet(shard={self.shard_id}/{self.partition.shards}, "
+            f"FT({self.ft.m},{self.ft.n}), switches={len(self.switches)}, "
+            f"nodes={len(self.endnodes)})"
+        )
+
+
+def build_shard(
+    m: int,
+    n: int,
+    scheme_name: str,
+    cfg: SimConfig,
+    seed: int,
+    shard_id: int,
+    shards: int,
+) -> ShardNet:
+    """Construct and wire one shard of an IBFT(m, n) subnet.
+
+    The shard always runs on the wheel backend internally (the
+    ``engine="sharded"`` setting selects this *orchestration*, not the
+    per-process scheduler).
+    """
+    ft = FatTree(m, n)
+    scheme = get_scheme(scheme_name, ft)
+    lfts = SubnetManager(scheme).configure()
+    dlid_flat = scheme.dlid_matrix().reshape(-1)
+    partition = partition_fattree(ft, shards)
+    if not 0 <= shard_id < shards:
+        raise ValueError(f"shard_id {shard_id} outside [0, {shards})")
+    engine = make_engine("wheel")
+    outbox = Outbox()
+
+    # Channel map from the partition's deterministic cut-link order.
+    # tx_chans: (switch, phys) -> (chan, dest shard) for local senders;
+    # rx_chans: (switch, phys) -> (chan, source shard) for local
+    # receivers.
+    tx_chans: Dict[tuple, tuple] = {}
+    rx_chans: Dict[tuple, tuple] = {}
+    for i, link in enumerate(partition.cut_links):
+        down, up = 2 * i, 2 * i + 1
+        parent_shard = partition.switch_shard[link.parent.switch]
+        child_shard = partition.switch_shard[link.child.switch]
+        parent_key = (link.parent.switch, link.parent.port + 1)
+        child_key = (link.child.switch, link.child.port + 1)
+        if parent_shard == shard_id:
+            tx_chans[parent_key] = (down, child_shard)
+            rx_chans[parent_key] = (up, child_shard)
+        if child_shard == shard_id:
+            rx_chans[child_key] = (down, parent_shard)
+            tx_chans[child_key] = (up, parent_shard)
+
+    local_switches = [
+        sw for sw in ft.switches if partition.switch_shard[sw] == shard_id
+    ]
+    switches: Dict[SwitchLabel, SwitchModel] = {}
+    packet_sinks: Dict[int, BoundaryInputUnit] = {}
+    credit_sinks: Dict[int, BoundaryTransmitter] = {}
+    for sw in local_switches:
+        model = SwitchModel(
+            engine, cfg, format_switch(*sw), num_ports=m, lft=lfts[sw]
+        )
+        for port in range(1, m + 1):
+            model.add_port(port)
+        # Replace each cut-link end with its boundary proxy (nothing is
+        # scheduled yet, so swapping the freshly-built units is safe).
+        for port in range(1, m + 1):
+            key = (sw, port)
+            if key in tx_chans:
+                chan, dest = tx_chans[key]
+                btx = BoundaryTransmitter(
+                    engine, cfg, f"{model.name}.tx{port}", outbox, chan, dest
+                )
+                model.tx[port] = btx
+                model._txl[port] = btx
+                credit_sinks[chan] = btx
+            if key in rx_chans:
+                chan, src = rx_chans[key]
+                brx = BoundaryInputUnit(
+                    engine, cfg, model, port, outbox, chan, src
+                )
+                model.rx[port] = brx
+                packet_sinks[chan] = brx
+        switches[sw] = model
+
+    # Per-node RNG streams: full spawn, indexed by PID — bit-identical
+    # to the monolithic build for any shard count.
+    rngs = spawn_rngs(seed, ft.num_nodes)
+    endnodes: List[Endnode] = []
+    local_pids = set(partition.shard_pids(shard_id))
+    node_by_pid: Dict[int, Endnode] = {}
+    for pid, label in enumerate(ft.nodes):
+        if pid not in local_pids:
+            continue
+        node = Endnode(
+            engine, cfg, pid=pid, slid=scheme.base_lid(label), rng=rngs[pid]
+        )
+        endnodes.append(node)
+        node_by_pid[pid] = node
+
+    # Wire the local links; cut-link ends were handled above.
+    for sw in local_switches:
+        model = switches[sw]
+        for k, ep in enumerate(ft.ports(sw)):
+            phys = k + 1
+            if ep.is_node:
+                node = node_by_pid[ft.node_id(ep.node)]
+                model.tx[phys].connect(node)
+                node.upstream = model.tx[phys]
+                node.tx.connect(model.rx[phys])
+                model.rx[phys].upstream = node.tx
+            elif partition.switch_shard[ep.switch] == shard_id:
+                peer_model = switches[ep.switch]
+                peer_phys = ep.port + 1
+                model.tx[phys].connect(peer_model.rx[peer_phys])
+                peer_model.rx[peer_phys].upstream = model.tx[phys]
+            # else: cut link — both proxies already installed.
+
+    return ShardNet(
+        shard_id,
+        partition,
+        ft,
+        scheme,
+        cfg,
+        engine,
+        switches,
+        endnodes,
+        outbox,
+        packet_sinks,
+        credit_sinks,
+        dlid_flat,
+    )

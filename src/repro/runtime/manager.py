@@ -46,7 +46,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -170,6 +170,10 @@ class DynamicSubnetManager:
         self._generation = 0
         self._kernel: Optional[RouteKernel] = None
         self._kernel_generation = -1
+        #: Optional observer called as ``on_program(time, sw, table)``
+        #: after every live LFT swap (the sharded engine's control
+        #: plane records the programming timeline through this).
+        self.on_program: Optional[Callable[[float, SwitchLabel, LinearForwardingTable], None]] = None
 
     # ------------------------------------------------------------------
     # Arming
@@ -329,6 +333,8 @@ class DynamicSubnetManager:
         self.net.switches[sw].lft = table
         self._live[sw] = table.as_array() - 1
         self._generation += 1  # live kernel is stale now
+        if self.on_program is not None:
+            self.on_program(self.engine.now, sw, table)
         ctx["programmed"] += 1
         if ctx["programmed"] == len(ctx["items"]):
             self._pending_ctx = None

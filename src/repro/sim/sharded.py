@@ -1,0 +1,637 @@
+"""Conservative parallel simulation across subtree shard processes.
+
+The sharded engine (``SimConfig(engine="sharded", shards=K)``) runs a
+fat-tree subnet as ``K`` single-process :class:`WheelEngine` shards —
+one per block of top-level subtrees (:mod:`repro.topology.partition`)
+— synchronized by a coordinator with a conservative barrier-window
+protocol (DESIGN.md §12):
+
+* **Lookahead.**  Both cross-shard interactions — header delivery on a
+  cut link and the credit returning across it — are staged at schedule
+  time with apply time exactly ``now + flying_time_ns``
+  (:mod:`repro.ib.proxy`).  A message produced anywhere in a window
+  therefore applies strictly after any window of length
+  ``L = flying_time_ns``.
+* **Windows.**  At each barrier the coordinator computes the fleet
+  floor ``A`` — the minimum over every shard's next-event time and
+  every undelivered message's apply time — and runs all shards to
+  ``min(target, A + L)``; nothing anywhere can fire before ``A``, so
+  no message can apply at or before ``A + L`` that isn't already known.
+  An idle fleet (``A = inf``) jumps straight to the target.  Each
+  window is one message round trip per shard: the coordinator sends
+  the window end plus that shard's due inbound messages, the shard
+  injects, runs, and replies with its drained outbox and next-event
+  time — the children's reported times are the protocol's null
+  messages.
+* **Determinism.**  Per-destination inbound messages are sorted by
+  (apply time, source shard, batch index) before injection, and every
+  shard indexes the full ``spawn_rngs(seed, num_nodes)`` spawn by PID,
+  so a run is bit-deterministic for a given shard count.  Same-time
+  events separated by a shard boundary may interleave differently
+  than in the monolithic engine, so cross-engine agreement is
+  statistical, not bitwise (the differential suite pins the
+  tolerance); conservation invariants merge exactly.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing as mp
+import traceback
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.ib.config import SimConfig
+
+__all__ = [
+    "ShardSpec",
+    "ShardedRun",
+    "run_sharded_point",
+    "run_sharded_probe",
+    "merge_conservation",
+    "merge_latency_parts",
+    "fabric_report_from_parts",
+    "loss_rows_from_parts",
+    "routing_pressure_from_parts",
+]
+
+#: Safety valve: a drain that needs this many windows is a protocol bug.
+_MAX_DRAIN_WINDOWS = 1_000_000
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything a worker process needs to build its shard."""
+
+    m: int
+    n: int
+    scheme: str
+    cfg: SimConfig
+    seed: int
+    shard_id: int
+    shards: int
+    pattern: Optional[str] = None
+    hotspot_fraction: float = 0.5
+    script: Tuple[tuple, ...] = ()
+
+
+def _pattern_for(pattern: str, num_nodes: int, hotspot_fraction: float):
+    from repro.traffic.patterns import make_pattern
+
+    if pattern == "centric":
+        return make_pattern(
+            "centric", num_nodes, hot_pid=0, fraction=hotspot_fraction
+        )
+    return make_pattern(pattern, num_nodes)
+
+
+def _worker_main(conn, spec: ShardSpec) -> None:
+    """Shard process body: build, then serve barrier-window commands."""
+    try:
+        from repro.ib.shardnet import build_shard
+
+        net = build_shard(
+            spec.m,
+            spec.n,
+            spec.scheme,
+            spec.cfg,
+            spec.seed,
+            spec.shard_id,
+            spec.shards,
+        )
+        if spec.pattern is not None:
+            net.attach_pattern(
+                _pattern_for(
+                    spec.pattern, net.ft.num_nodes, spec.hotspot_fraction
+                )
+            )
+        if spec.script:
+            net.apply_script(list(spec.script))
+        engine = net.engine
+        conn.send(("ready", engine.peek_time()))
+        while True:
+            msg = conn.recv()
+            cmd = msg[0]
+            if cmd == "run":
+                _, t_end, inbound = msg
+                if inbound:
+                    net.inject(inbound)
+                if t_end > engine.now:
+                    engine.run(until=t_end)
+                conn.send(("win", net.outbox.drain(), engine.peek_time()))
+            elif cmd == "begin":
+                _, offered, warmup, measure = msg
+                net.begin_measurement(offered, warmup, measure)
+                conn.send(("ok", engine.peek_time()))
+            elif cmd == "gen":
+                rate = spec.cfg.offered_load_to_rate(msg[1])
+                for node in net.endnodes:
+                    node.start_generation(rate)
+                conn.send(("ok", engine.peek_time()))
+            elif cmd == "stopgen":
+                net.stop_generation()
+                conn.send(("ok", engine.peek_time()))
+            elif cmd == "collect":
+                conn.send(("res", net.summary(include_links=msg[1])))
+            elif cmd == "exit":
+                conn.send(("bye",))
+                return
+            else:
+                raise ValueError(f"unknown coordinator command {cmd!r}")
+    except BaseException:
+        try:
+            conn.send(("err", traceback.format_exc()))
+        except Exception:
+            pass
+        raise
+    finally:
+        conn.close()
+
+
+class ShardedRun:
+    """Coordinator for one sharded simulation (context manager).
+
+    Owns the worker processes and the conservative clock; exposes the
+    same phases as a monolithic run — ``begin``/``generate``,
+    ``run_to``, ``stop_generation``, ``drain``, ``collect`` — with the
+    barrier-window protocol hidden inside :meth:`run_to`.
+    """
+
+    def __init__(
+        self,
+        m: int,
+        n: int,
+        scheme: str,
+        cfg: SimConfig,
+        *,
+        seed: int = 1,
+        pattern: Optional[str] = None,
+        hotspot_fraction: float = 0.5,
+        script: Tuple[tuple, ...] = (),
+    ):
+        if cfg.flying_time_ns <= 0:
+            raise ValueError(
+                "sharded engine needs flying_time_ns > 0 for lookahead"
+            )
+        if not isinstance(scheme, str):
+            raise TypeError(
+                "the sharded engine takes a scheme name, not an instance "
+                "(each shard process builds its own)"
+            )
+        self.shards = cfg.shards
+        self.lookahead = cfg.flying_time_ns
+        self.now = 0.0
+        self.windows = 0
+        self._procs: List[mp.Process] = []
+        self._conns: List = []
+        self._peeks: List[float] = []
+        #: undelivered messages per destination shard, each annotated
+        #: (apply_time, src_shard, batch_index, kind, chan, payload).
+        self._pending: List[List[tuple]] = [[] for _ in range(self.shards)]
+        self._closed = False
+        ctx = mp.get_context()
+        for shard_id in range(self.shards):
+            parent, child = ctx.Pipe()
+            spec = ShardSpec(
+                m=m,
+                n=n,
+                scheme=scheme,
+                cfg=cfg,
+                seed=seed,
+                shard_id=shard_id,
+                shards=self.shards,
+                pattern=pattern,
+                hotspot_fraction=hotspot_fraction,
+                script=tuple(script),
+            )
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child, spec),
+                name=f"repro-shard-{shard_id}",
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            self._procs.append(proc)
+            self._conns.append(parent)
+        try:
+            self._peeks = [self._recv(i, "ready") for i in range(self.shards)]
+        except Exception:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    def _recv(self, shard: int, expect: str):
+        msg = self._conns[shard].recv()
+        if msg[0] == "err":
+            raise RuntimeError(
+                f"shard {shard} died:\n{msg[1]}"
+            )
+        if msg[0] != expect:
+            raise RuntimeError(
+                f"shard {shard}: expected {expect!r}, got {msg[0]!r}"
+            )
+        return msg[1] if len(msg) > 1 else None
+
+    def _broadcast(self, msg: tuple) -> None:
+        """Send one command to every shard; replies refresh the peeks."""
+        for conn in self._conns:
+            conn.send(msg)
+        for i in range(self.shards):
+            self._peeks[i] = _time(self._recv(i, "ok"))
+
+    # ------------------------------------------------------------------
+    def begin(
+        self, offered: float, warmup_ns: float, measure_ns: float
+    ) -> None:
+        """Install collectors and start generation on every shard."""
+        self._broadcast(("begin", offered, warmup_ns, measure_ns))
+
+    def generate(self, offered: float) -> None:
+        """Start generation without measurement collectors (failover)."""
+        self._broadcast(("gen", offered))
+
+    def stop_generation(self) -> None:
+        self._broadcast(("stopgen",))
+
+    # ------------------------------------------------------------------
+    def _floor(self) -> float:
+        """Earliest thing that can happen anywhere in the fleet."""
+        floor = min(self._peeks)
+        for batch in self._pending:
+            for item in batch:
+                if item[0] < floor:
+                    floor = item[0]
+        return floor
+
+    def _window(self, t_end: float) -> None:
+        """Advance every shard to ``t_end`` (one barrier round trip)."""
+        due: List[List[tuple]] = []
+        for dest in range(self.shards):
+            batch = self._pending[dest]
+            now_due = [item for item in batch if item[0] <= t_end]
+            if now_due:
+                self._pending[dest] = [
+                    item for item in batch if item[0] > t_end
+                ]
+                now_due.sort(key=lambda it: (it[0], it[1], it[2]))
+                due.append(
+                    [(t, kind, chan, payload)
+                     for t, _src, _idx, kind, chan, payload in now_due]
+                )
+            else:
+                due.append([])
+        for dest, conn in enumerate(self._conns):
+            conn.send(("run", t_end, due[dest]))
+        for src in range(self.shards):
+            conn_msg = self._conns[src].recv()
+            if conn_msg[0] == "err":
+                raise RuntimeError(f"shard {src} died:\n{conn_msg[1]}")
+            _, batches, peek = conn_msg
+            self._peeks[src] = _time(peek)
+            for dest, msgs in batches.items():
+                pending = self._pending[dest]
+                for idx, (time, kind, chan, payload) in enumerate(msgs):
+                    pending.append((time, src, idx, kind, chan, payload))
+        self.now = t_end
+        self.windows += 1
+
+    def run_to(self, target: float) -> None:
+        """Conservatively advance the whole fleet to ``target``."""
+        while self.now < target:
+            floor = self._floor()
+            if math.isinf(floor):
+                t_end = target
+            else:
+                t_end = min(target, floor + self.lookahead)
+            self._window(t_end)
+
+    def drain(self) -> float:
+        """Run until fleet-wide quiescence; returns the final time.
+
+        Quiescent = every shard's event queue is empty and no
+        cross-shard message is undelivered — the state in which
+        ``generated == delivered + lost + backlog`` holds exactly.
+        """
+        for _ in range(_MAX_DRAIN_WINDOWS):
+            floor = self._floor()
+            if math.isinf(floor):
+                return self.now
+            self._window(floor + self.lookahead)
+        raise RuntimeError(
+            f"drain did not quiesce within {_MAX_DRAIN_WINDOWS} windows"
+        )
+
+    # ------------------------------------------------------------------
+    def collect(self, include_links: bool = False) -> List[dict]:
+        """Fetch every shard's summary (see ``ShardNet.summary``)."""
+        for conn in self._conns:
+            conn.send(("collect", include_links))
+        return [self._recv(i, "res") for i in range(self.shards)]
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("exit",))
+            except (OSError, ValueError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=5)
+        for conn in self._conns:
+            conn.close()
+
+    def __enter__(self) -> "ShardedRun":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _time(peek: Optional[float]) -> float:
+    return math.inf if peek is None else peek
+
+
+# ----------------------------------------------------------------------
+# Exact merges (DESIGN.md §12: merge invariants)
+# ----------------------------------------------------------------------
+def merge_latency_parts(parts: List[dict]) -> dict:
+    """Chan's parallel combine of per-shard Welford accumulators.
+
+    count/mean/min/max merge exactly; the concatenated reservoirs give
+    the same nearest-rank percentile as a monolithic reservoir while
+    every shard's sample count stays within its reservoir bound.
+    """
+    count = 0
+    mean = 0.0
+    m2 = 0.0
+    lo = math.inf
+    hi = -math.inf
+    samples: List[float] = []
+    for part in parts:
+        if part["count"] == 0:
+            continue
+        n_a, n_b = count, part["count"]
+        delta = part["mean"] - mean
+        count = n_a + n_b
+        mean += delta * n_b / count
+        m2 += part["m2"] + delta * delta * n_a * n_b / count
+        lo = min(lo, part["min"])
+        hi = max(hi, part["max"])
+        samples.extend(part["samples"])
+    return {
+        "count": count,
+        "mean": mean if count else math.nan,
+        "m2": m2,
+        "min": lo,
+        "max": hi,
+        "samples": samples,
+    }
+
+
+def _percentile(samples: List[float], q: float) -> float:
+    """Nearest-rank percentile, matching ``LatencyStats.percentile``."""
+    if not samples:
+        return math.nan
+    ordered = sorted(samples)
+    rank = max(0, math.ceil(q / 100.0 * len(ordered)) - 1)
+    return ordered[rank]
+
+
+def merge_conservation(parts: List[dict]) -> dict:
+    """Fleet-wide packet accounting (sums merge exactly)."""
+    return {
+        "generated": sum(p["generated"] for p in parts),
+        "delivered": sum(p["delivered"] for p in parts),
+        "backlog": sum(p["backlog"] for p in parts),
+        "lost": sum(p["lost"] for p in parts),
+    }
+
+
+def run_sharded_point(
+    m: int,
+    n: int,
+    scheme: str,
+    pattern: str,
+    offered: float,
+    *,
+    cfg: SimConfig,
+    hotspot_fraction: float = 0.5,
+    warmup_ns: float = 30_000.0,
+    measure_ns: float = 120_000.0,
+    seed: int = 1,
+    drain: bool = False,
+    script: Tuple[tuple, ...] = (),
+) -> dict:
+    """Sharded counterpart of :func:`repro.experiments.runner.run_point`.
+
+    Returns the same record as ``Subnet.run_measurement`` plus the
+    exact fleet-wide conservation counters (``generated`` /
+    ``delivered`` / ``lost``) and ``shards``.  With ``drain=True``
+    generation stops at the measurement end and the fleet runs to
+    quiescence first, making ``generated == delivered + lost +
+    backlog`` exact.
+    """
+    with ShardedRun(
+        m,
+        n,
+        scheme,
+        cfg,
+        seed=seed,
+        pattern=pattern,
+        hotspot_fraction=hotspot_fraction,
+        script=script,
+    ) as run:
+        run.begin(offered, warmup_ns, measure_ns)
+        run.run_to(warmup_ns + measure_ns)
+        if drain:
+            run.stop_generation()
+            run.drain()
+        parts = run.collect()
+        windows = run.windows
+    return _merge_point(parts, offered, measure_ns, windows)
+
+
+def _merge_point(
+    parts: List[dict], offered: float, measure_ns: float, windows: int
+) -> dict:
+    num_nodes = sum(len(p["pids"]) for p in parts)
+    net_latency = merge_latency_parts([p["net_latency"] for p in parts])
+    total_latency = merge_latency_parts([p["latency"] for p in parts])
+    bytes_delivered = sum(p["bytes_delivered"] for p in parts)
+    per_destination: Dict[int, int] = {}
+    for part in parts:
+        for pid, pkts in part["per_destination"].items():
+            per_destination[pid] = per_destination.get(pid, 0) + pkts
+    total = sum(per_destination.values())
+    if total:
+        sq = sum(x * x for x in per_destination.values())
+        fairness = total * total / (num_nodes * sq)
+    else:
+        fairness = math.nan
+    row = {
+        "offered": offered,
+        "accepted": bytes_delivered / measure_ns / num_nodes,
+        "latency_mean": (
+            net_latency["mean"] if net_latency["count"] else math.nan
+        ),
+        "latency_p99": _percentile(net_latency["samples"], 99),
+        "latency_total_mean": (
+            total_latency["mean"] if total_latency["count"] else math.nan
+        ),
+        "packets": sum(p["packets_delivered"] for p in parts),
+        "backlog": sum(p["backlog"] for p in parts),
+        "events": sum(p["events"] for p in parts),
+        "fairness": fairness,
+        "shards": len(parts),
+        "windows": windows,
+    }
+    row.update(merge_conservation(parts))
+    return row
+
+
+def run_sharded_probe(
+    m: int,
+    n: int,
+    scheme: str,
+    pattern: str,
+    offered: float,
+    *,
+    cfg: SimConfig,
+    hotspot_fraction: float = 0.5,
+    warmup_ns: float = 15_000.0,
+    measure_ns: float = 60_000.0,
+    seed: int = 1,
+) -> Tuple[dict, object, List[tuple]]:
+    """Sharded counterpart of probe: measure, then rebuild the fabric
+    heat report from the shards' link counters.
+
+    Returns ``(row, FabricReport, routing_pressure_rows)``.
+    """
+    from repro.topology.fattree import FatTree
+
+    with ShardedRun(
+        m,
+        n,
+        scheme,
+        cfg,
+        seed=seed,
+        pattern=pattern,
+        hotspot_fraction=hotspot_fraction,
+    ) as run:
+        run.begin(offered, warmup_ns, measure_ns)
+        run.run_to(warmup_ns + measure_ns)
+        parts = run.collect(include_links=True)
+        elapsed = run.now
+        windows = run.windows
+    row = _merge_point(parts, offered, measure_ns, windows)
+    ft = FatTree(m, n)
+    report = fabric_report_from_parts(ft, parts, elapsed)
+    pressure = routing_pressure_from_parts(ft, cfg, parts, elapsed)
+    return row, report, pressure
+
+
+# ----------------------------------------------------------------------
+# Fabric-report reconstruction (probe with --engine sharded)
+# ----------------------------------------------------------------------
+def _merged_links(parts: List[dict]) -> Tuple[dict, dict, dict]:
+    nodes: dict = {}
+    switches: dict = {}
+    routers: dict = {}
+    for part in parts:
+        links = part["links"]
+        nodes.update(links["nodes"])
+        switches.update(links["switches"])
+        routers.update(links["routers"])
+    return nodes, switches, routers
+
+
+def fabric_report_from_parts(ft, parts: List[dict], elapsed_ns: float):
+    """Rebuild :class:`~repro.ib.instrumentation.FabricReport` from the
+    shards' link counters (same layer logic as ``probe_fabric``)."""
+    from repro.ib.instrumentation import FabricReport, LinkProbe
+    from repro.topology.labels import format_switch
+
+    nodes, switches, _ = _merged_links(parts)
+    links: List = []
+    for pid in sorted(nodes):
+        util, sent, _dropped = nodes[pid]
+        links.append(
+            LinkProbe(
+                layer="injection",
+                name=f"node{pid}->leaf",
+                utilization=util,
+                packets=sent,
+            )
+        )
+    for sw in ft.switches:
+        per_phys = switches.get(sw)
+        if per_phys is None:
+            continue
+        _, level = sw
+        for phys in sorted(per_phys):
+            util, sent, _dropped = per_phys[phys]
+            ep = ft.peer(sw, phys - 1)
+            if ep.is_node:
+                layer = "ejection"
+                peer = f"node{ft.node_id(ep.node)}"
+            elif ep.switch[1] > level:
+                layer = "down"
+                peer = format_switch(*ep.switch)
+            else:
+                layer = "up"
+                peer = format_switch(*ep.switch)
+            links.append(
+                LinkProbe(
+                    layer=layer,
+                    name=f"{format_switch(*sw)}[{phys}]->{peer}",
+                    utilization=util,
+                    packets=sent,
+                )
+            )
+    return FabricReport(elapsed_ns=elapsed_ns, links=links)
+
+
+def loss_rows_from_parts(ft, parts: List[dict]) -> List[dict]:
+    """Per-channel drop counts, busiest first (``loss_report`` shape)."""
+    from repro.topology.labels import format_switch
+
+    nodes, switches, _ = _merged_links(parts)
+    rows: List[dict] = []
+    for pid in sorted(nodes):
+        _util, _sent, dropped = nodes[pid]
+        if dropped:
+            rows.append({"channel": f"node{pid}->leaf", "dropped": dropped})
+    for sw in ft.switches:
+        per_phys = switches.get(sw)
+        if per_phys is None:
+            continue
+        for phys in sorted(per_phys):
+            dropped = per_phys[phys][2]
+            if dropped:
+                rows.append(
+                    {
+                        "channel": f"{format_switch(*sw)}[{phys}]",
+                        "dropped": dropped,
+                    }
+                )
+    return sorted(rows, key=lambda r: -r["dropped"])
+
+
+def routing_pressure_from_parts(
+    ft, cfg: SimConfig, parts: List[dict], elapsed_ns: float
+) -> List[tuple]:
+    """Per-switch routing-engine occupancy (``routing_pressure`` shape)."""
+    if elapsed_ns <= 0:
+        raise RuntimeError("nothing simulated yet (fleet at t=0)")
+    _, _, routers = _merged_links(parts)
+    out = []
+    for sw, (ops, capacity) in routers.items():
+        busy = ops * cfg.routing_time_ns
+        out.append((sw, busy / (elapsed_ns * capacity)))
+    return sorted(out, key=lambda kv: -kv[1])

@@ -17,6 +17,12 @@ from repro.topology.labels import (
     validate_switch_label,
 )
 from repro.topology.fattree import FatTree, PortRef, Endpoint
+from repro.topology.partition import (
+    CutLink,
+    SubtreePartition,
+    partition_fattree,
+    top_stage_link_count,
+)
 from repro.topology.groups import (
     gcp,
     gcp_length,
@@ -39,6 +45,10 @@ __all__ = [
     "FatTree",
     "PortRef",
     "Endpoint",
+    "CutLink",
+    "SubtreePartition",
+    "partition_fattree",
+    "top_stage_link_count",
     "gcp",
     "gcp_length",
     "lca",

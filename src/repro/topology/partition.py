@@ -1,0 +1,136 @@
+"""Top-level-subtree partitioner for sharded simulation.
+
+FT(m, n) decomposes naturally under its first label digit: node
+``P(p0 p1 … p_{n-1})`` and every switch ``SW<w, l>`` with ``l >= 1``
+belong to the *top-level subtree* ``p0`` / ``w0``.  All wiring between
+two members of one subtree stays inside it (a parent at level ``l >= 1``
+shares every digit but position ``l`` with its children, so ``w0`` is
+preserved), and all traffic between different subtrees crosses the top
+stage: a root down-link ``SW<w, 0>[k] -> SW<w', 1>`` with ``w'_0 = k``.
+
+That makes the top stage the canonical cut for conservative parallel
+simulation (see DESIGN.md §12): :func:`partition_fattree` assigns each
+of the ``m`` subtrees — and each root switch — to one of ``K`` shards,
+and enumerates the *cut links* (root down-links whose two ends landed
+in different shards) that become proxy channels between shard
+processes.
+
+Roots have no subtree of their own; they are spread over the shards in
+the same contiguous-block fashion as the subtrees so every shard owns
+roughly ``num_roots / K`` of them (and shard 0 always owns root 0,
+keeping :func:`repro.experiments.failover.default_link` intra-shard).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.topology.fattree import FatTree, PortRef
+from repro.topology.labels import SwitchLabel
+
+__all__ = [
+    "CutLink",
+    "SubtreePartition",
+    "partition_fattree",
+    "top_stage_link_count",
+]
+
+
+def top_stage_link_count(m: int, n: int) -> int:
+    """Closed-form count of root down-links in FT(m, n).
+
+    Every one of the ``(m/2)^(n-1)`` roots has exactly one down-link
+    into each of the ``m`` top-level subtrees.
+    """
+    if n < 2:
+        raise ValueError(f"FT(m, n) has a top stage only for n >= 2, got n={n}")
+    return m * (m // 2) ** (n - 1)
+
+
+@dataclass(frozen=True)
+class CutLink:
+    """One top-stage link whose two ends live in different shards."""
+
+    parent: PortRef  #: the root side (level 0)
+    child: PortRef  #: the subtree side (level 1)
+
+
+@dataclass(frozen=True)
+class SubtreePartition:
+    """Assignment of an FT(m, n)'s devices to ``shards`` shards."""
+
+    m: int
+    n: int
+    shards: int
+    #: switch label -> owning shard (every switch, roots included).
+    switch_shard: Dict[SwitchLabel, int] = field(repr=False)
+    #: PID -> owning shard (a node lives with its leaf switch).
+    node_shard: Tuple[int, ...] = field(repr=False)
+    #: top-stage links crossing a shard boundary, in deterministic
+    #: (root-major, down-port-minor) order — the proxy channel list.
+    cut_links: Tuple[CutLink, ...] = field(repr=False)
+
+    def shard_switches(self, shard: int) -> List[SwitchLabel]:
+        """All switches owned by one shard, in global switch order."""
+        return [sw for sw, s in self.switch_shard.items() if s == shard]
+
+    def shard_pids(self, shard: int) -> List[int]:
+        """All PIDs owned by one shard, ascending."""
+        return [pid for pid, s in enumerate(self.node_shard) if s == shard]
+
+
+def shard_of_subtree(subtree: int, m: int, shards: int) -> int:
+    """Shard owning top-level subtree ``subtree`` (contiguous blocks)."""
+    return subtree * shards // m
+
+
+def partition_fattree(ft: FatTree, shards: int) -> SubtreePartition:
+    """Partition FT(m, n) into ``shards`` shards by top-level subtree.
+
+    Requires ``n >= 2`` (an FT(m, 1) has a single switch and nothing to
+    cut) and ``1 <= shards <= m`` (each shard must own at least one
+    subtree).  ``shards=1`` is the degenerate whole-fabric shard with
+    no cut links — useful for overhead measurements.
+    """
+    m, n = ft.m, ft.n
+    if n < 2:
+        raise ValueError(
+            f"cannot shard FT({m}, {n}): subtree partitioning needs n >= 2"
+        )
+    if not 1 <= shards <= m:
+        raise ValueError(
+            f"shards must be in [1, {m}] for FT({m}, {n}), got {shards}"
+        )
+    switch_shard: Dict[SwitchLabel, int] = {}
+    roots = ft.switches_at_level(0)
+    num_roots = len(roots)
+    for sw in ft.switches:
+        w, level = sw
+        if level == 0:
+            switch_shard[sw] = ft.switch_id(sw) * shards // num_roots
+        else:
+            switch_shard[sw] = shard_of_subtree(w[0], m, shards)
+    node_shard = tuple(
+        shard_of_subtree(p[0], m, shards) for p in ft.nodes
+    )
+    cut: List[CutLink] = []
+    for root in roots:
+        root_shard = switch_shard[root]
+        for k in range(m):
+            ep = ft.peer(root, k)
+            if switch_shard[ep.switch] != root_shard:
+                cut.append(
+                    CutLink(
+                        parent=PortRef(root, k),
+                        child=PortRef(ep.switch, ep.port),
+                    )
+                )
+    return SubtreePartition(
+        m=m,
+        n=n,
+        shards=shards,
+        switch_shard=switch_shard,
+        node_shard=node_shard,
+        cut_links=tuple(cut),
+    )

@@ -1,0 +1,114 @@
+"""Differential validation: sharded engine vs the single-process wheel.
+
+The conservative protocol preserves every event's timestamp, but
+same-time events separated by a shard boundary may fire in a different
+order than in the monolithic engine, so cross-engine agreement is
+statistical (DESIGN.md §12).  Empirically the divergence on these
+configurations is < 1%; the documented tolerances below are 2% on
+accepted throughput and 5% on mean latency.  Conservation invariants
+and the control-plane failover timeline must match exactly.
+"""
+
+import pytest
+
+from repro.experiments.failover import run_failover
+from repro.experiments.runner import run_point
+from repro.ib.config import SimConfig
+from repro.sim.sharded import run_sharded_point
+
+#: Documented cross-engine tolerances (fractions).
+ACCEPTED_RTOL = 0.02
+LATENCY_RTOL = 0.05
+
+CASES = [(8, 2, 2), (4, 3, 2)]
+SEEDS = [1, 2, 3]
+
+
+@pytest.mark.parametrize("m,n,shards", CASES)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sharded_matches_wheel_statistically(m, n, shards, seed):
+    kw = dict(warmup_ns=5_000, measure_ns=40_000, seed=seed)
+    ref = run_point(m, n, "mlid", "uniform", 0.4, cfg=SimConfig(), **kw)
+    got = run_point(
+        m, n, "mlid", "uniform", 0.4,
+        cfg=SimConfig(engine="sharded", shards=shards), **kw,
+    )
+    assert got["accepted"] == pytest.approx(
+        ref["accepted"], rel=ACCEPTED_RTOL
+    )
+    assert got["latency_mean"] == pytest.approx(
+        ref["latency_mean"], rel=LATENCY_RTOL
+    )
+    assert got["latency_p99"] == pytest.approx(
+        ref["latency_p99"], rel=LATENCY_RTOL
+    )
+    assert got["shards"] == shards
+
+
+@pytest.mark.parametrize("m,n,shards", CASES)
+def test_sharded_conservation_exact(m, n, shards):
+    cfg = SimConfig(engine="sharded", shards=shards)
+    r = run_sharded_point(
+        m, n, "mlid", "uniform", 0.5, cfg=cfg,
+        warmup_ns=2_000, measure_ns=20_000, seed=2, drain=True,
+    )
+    assert r["generated"] == r["delivered"] + r["lost"] + r["backlog"]
+    assert r["backlog"] == 0  # drained to quiescence
+    assert r["lost"] == 0  # healthy fabric is lossless
+
+
+@pytest.mark.parametrize("pattern", ["uniform", "centric"])
+def test_sharded_patterns_agree(pattern):
+    kw = dict(warmup_ns=5_000, measure_ns=30_000, seed=1)
+    ref = run_point(8, 2, "mlid", pattern, 0.2, cfg=SimConfig(), **kw)
+    got = run_point(
+        8, 2, "mlid", pattern, 0.2,
+        cfg=SimConfig(engine="sharded", shards=4), **kw,
+    )
+    assert got["accepted"] == pytest.approx(ref["accepted"], rel=ACCEPTED_RTOL)
+    assert got["fairness"] == pytest.approx(ref["fairness"], rel=0.05)
+
+
+def test_sharded_failover_mid_run_link_failure():
+    """Mid-run link failure + recovery: the control-plane timeline and
+    table checks must match the wheel exactly; the data-plane loss
+    accounting must conserve exactly."""
+    kw = dict(load=0.3, seed=2)
+    ref = run_failover(8, 2, "mlid", cfg=SimConfig(), **kw)
+    got = run_failover(
+        8, 2, "mlid", cfg=SimConfig(engine="sharded", shards=2), **kw
+    )
+    # Control plane is deterministic and traffic-independent: exact.
+    for key in ("time_to_detect", "time_to_repair", "entries_changed",
+                "flows_rerouted", "path_inflation"):
+        assert got[key] == ref[key], key
+    assert got["repair_matches_offline"] is True
+    assert got["recovery_matches_initial"] is True
+    # Data plane: exact conservation, statistical agreement with wheel.
+    assert (
+        got["generated"]
+        == got["delivered"] + got["packets_lost"] + got["backlog"]
+    )
+    assert got["packets_lost"] > 0  # the outage black-holed something
+    assert got["delivered"] == pytest.approx(ref["delivered"], rel=0.02)
+
+
+def test_sharded_failover_rejects_cross_shard_victim():
+    """A cut link cannot be the scripted victim (its revival would need
+    remote credit state)."""
+    from repro.topology.fattree import FatTree
+    from repro.topology.partition import partition_fattree
+
+    ft = FatTree(8, 2)
+    part = partition_fattree(ft, 2)
+    root = ft.switches_at_level(0)[0]
+    root_shard = part.switch_shard[root]
+    cross_port = next(
+        k for k in range(8)
+        if part.switch_shard[ft.peer(root, k).switch] != root_shard
+    )
+    with pytest.raises(ValueError, match="intra-shard"):
+        run_failover(
+            8, 2, "mlid", link=(root, cross_port),
+            cfg=SimConfig(engine="sharded", shards=2),
+        )

@@ -51,3 +51,36 @@ def test_spawn_differs_from_root():
 def test_returns_numpy_generators():
     assert isinstance(make_rng(0), np.random.Generator)
     assert all(isinstance(g, np.random.Generator) for g in spawn_rngs(0, 2))
+
+
+def _consume_spawned_streams(seed, count, draws):
+    """Module-level so it works under any multiprocessing start method."""
+    return [
+        g.integers(0, 1 << 30, size=draws).tolist()
+        for g in spawn_rngs(seed, count)
+    ]
+
+
+def _child_consume(conn, seed, count, draws):
+    conn.send(_consume_spawned_streams(seed, count, draws))
+    conn.close()
+
+
+def test_spawned_streams_match_across_processes():
+    """The sharded engine's reproducibility claim: a shard process that
+    spawns the full per-node RNG set from the same seed draws streams
+    bit-identical to the parent's (so per-node traffic is independent
+    of which process hosts the node)."""
+    import multiprocessing as mp
+
+    seed, count, draws = 1234, 8, 64
+    parent_streams = _consume_spawned_streams(seed, count, draws)
+    ctx = mp.get_context()
+    here, there = ctx.Pipe()
+    proc = ctx.Process(target=_child_consume, args=(there, seed, count, draws))
+    proc.start()
+    there.close()
+    child_streams = here.recv()
+    proc.join(timeout=30)
+    assert proc.exitcode == 0
+    assert child_streams == parent_streams

@@ -1,0 +1,120 @@
+"""Unit tests for the sharded engine building blocks."""
+
+import math
+
+import pytest
+
+from repro.ib.config import SimConfig
+from repro.ib.packet import Packet
+from repro.ib.proxy import (
+    MSG_CREDIT,
+    MSG_PKT,
+    Outbox,
+    pack_packet,
+    unpack_packet,
+)
+from repro.sim.sharded import (
+    ShardedRun,
+    merge_latency_parts,
+    run_sharded_point,
+)
+
+
+def test_pack_unpack_round_trip():
+    pkt = Packet(3, 17, 0, 5, 256, 1, 123.5, message_id=42,
+                 is_message_tail=False)
+    pkt.t_injected = 130.0
+    pkt.hops = 2
+    pkt.route = ["SW<0, 1>"]
+    out = unpack_packet(pack_packet(pkt))
+    for attr in ("slid", "dlid", "src_pid", "dst_pid", "size_bytes", "vl",
+                 "t_created", "t_injected", "hops", "message_id",
+                 "is_message_tail", "route"):
+        assert getattr(out, attr) == getattr(pkt, attr), attr
+
+
+def test_outbox_batches_per_destination_in_order():
+    box = Outbox()
+    box.send(1, 10.0, MSG_PKT, 0, "a")
+    box.send(2, 11.0, MSG_CREDIT, 3, 0)
+    box.send(1, 12.0, MSG_PKT, 0, "b")
+    assert box.pending == 3
+    batches = box.drain()
+    assert batches[1] == [(10.0, MSG_PKT, 0, "a"), (12.0, MSG_PKT, 0, "b")]
+    assert batches[2] == [(11.0, MSG_CREDIT, 3, 0)]
+    assert box.pending == 0
+    assert box.drain() == {}
+
+
+def test_merge_latency_parts_matches_single_stream():
+    from repro.sim.stats import LatencyStats
+
+    xs = [5.0, 1.0, 9.0, 3.0, 7.0, 2.0]
+    whole = LatencyStats()
+    for x in xs:
+        whole.record(x)
+    a, b = LatencyStats(), LatencyStats()
+    for x in xs[:3]:
+        a.record(x)
+    for x in xs[3:]:
+        b.record(x)
+
+    def part(s):
+        return {"count": s.count, "mean": s._mean, "m2": s._m2,
+                "min": s.min, "max": s.max, "samples": list(s._samples)}
+
+    merged = merge_latency_parts([part(a), part(b)])
+    assert merged["count"] == whole.count
+    assert merged["mean"] == pytest.approx(whole.mean)
+    assert merged["m2"] == pytest.approx(whole._m2)
+    assert merged["min"] == whole.min
+    assert merged["max"] == whole.max
+    assert sorted(merged["samples"]) == sorted(xs)
+
+
+def test_merge_latency_parts_empty():
+    merged = merge_latency_parts([])
+    assert merged["count"] == 0 and math.isnan(merged["mean"])
+
+
+def test_sharded_rejects_scheme_instance():
+    with pytest.raises(TypeError):
+        ShardedRun(4, 2, object(), SimConfig(engine="sharded", shards=2))
+
+
+def test_sharded_requires_lookahead():
+    cfg = SimConfig(engine="wheel", flying_time_ns=0.0)
+    with pytest.raises(ValueError):
+        ShardedRun(4, 2, "mlid", cfg)
+
+
+def test_single_shard_matches_wheel_exactly():
+    """shards=1 is the wheel engine behind the window protocol: no cut
+    links, no cross-shard messages — results must be bit-identical."""
+    from repro.experiments.runner import run_point
+
+    ref = run_point(4, 2, "mlid", "uniform", 0.2, cfg=SimConfig(),
+                    warmup_ns=2_000, measure_ns=15_000, seed=5)
+    cfg = SimConfig(engine="sharded", shards=1)
+    got = run_sharded_point(4, 2, "mlid", "uniform", 0.2, cfg=cfg,
+                            warmup_ns=2_000, measure_ns=15_000, seed=5)
+    for key in ref:
+        assert got[key] == ref[key], key
+
+
+def test_sharded_deterministic_for_fixed_shard_count():
+    cfg = SimConfig(engine="sharded", shards=2)
+    kw = dict(cfg=cfg, warmup_ns=2_000, measure_ns=15_000, seed=7,
+              drain=True)
+    a = run_sharded_point(4, 2, "mlid", "uniform", 0.4, **kw)
+    b = run_sharded_point(4, 2, "mlid", "uniform", 0.4, **kw)
+    assert a == b
+
+
+def test_sharded_conservation_exact_after_drain():
+    cfg = SimConfig(engine="sharded", shards=4)
+    r = run_sharded_point(4, 2, "mlid", "uniform", 0.5, cfg=cfg,
+                          warmup_ns=2_000, measure_ns=15_000, seed=3,
+                          drain=True)
+    assert r["generated"] == r["delivered"] + r["lost"] + r["backlog"]
+    assert r["lost"] == 0  # healthy fabric is lossless

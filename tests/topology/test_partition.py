@@ -1,0 +1,124 @@
+"""Property tests for the subtree partitioner (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology.fattree import FatTree
+from repro.topology.partition import (
+    partition_fattree,
+    shard_of_subtree,
+    top_stage_link_count,
+)
+
+#: (m, n) pairs with a top stage, small enough for exhaustive checks.
+MN = [(4, 2), (4, 3), (8, 2), (8, 3), (16, 2)]
+
+
+def _mn_shards():
+    return st.sampled_from(MN).flatmap(
+        lambda mn: st.tuples(
+            st.just(mn[0]),
+            st.just(mn[1]),
+            st.integers(min_value=1, max_value=mn[0]),
+        )
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(args=_mn_shards())
+def test_every_switch_in_exactly_one_shard(args):
+    m, n, shards = args
+    ft = FatTree(m, n)
+    part = partition_fattree(ft, shards)
+    assert set(part.switch_shard) == set(ft.switches)
+    assert all(0 <= s < shards for s in part.switch_shard.values())
+    # The per-shard views tile the fabric without overlap.
+    seen = []
+    for shard in range(shards):
+        seen.extend(part.shard_switches(shard))
+    assert sorted(seen) == sorted(ft.switches)
+    pids = []
+    for shard in range(shards):
+        pids.extend(part.shard_pids(shard))
+    assert sorted(pids) == list(range(ft.num_nodes))
+
+
+@settings(max_examples=40, deadline=None)
+@given(args=_mn_shards())
+def test_every_link_intra_shard_or_top_stage_cut(args):
+    m, n, shards = args
+    ft = FatTree(m, n)
+    part = partition_fattree(ft, shards)
+    cut = {
+        frozenset([(c.parent.switch, c.parent.port),
+                   (c.child.switch, c.child.port)])
+        for c in part.cut_links
+    }
+    for sw in ft.switches:
+        for port, ep in enumerate(ft.ports(sw)):
+            if ep.is_node:
+                # A node always lives with its leaf switch.
+                pid = ft.node_id(ep.node)
+                assert part.node_shard[pid] == part.switch_shard[sw]
+                continue
+            key = frozenset([(sw, port), (ep.switch, ep.port)])
+            if part.switch_shard[sw] == part.switch_shard[ep.switch]:
+                assert key not in cut
+            else:
+                # Every cross-shard link is a top-stage link and is in
+                # the cut list.
+                assert sw[1] == 0 or ep.switch[1] == 0
+                assert key in cut
+
+
+@settings(max_examples=40, deadline=None)
+@given(args=_mn_shards())
+def test_cut_count_matches_brute_force_and_closed_form(args):
+    m, n, shards = args
+    ft = FatTree(m, n)
+    part = partition_fattree(ft, shards)
+    # Brute force: count top-stage links whose ends differ in shard.
+    expected = 0
+    for root in ft.switches_at_level(0):
+        for k in range(m):
+            ep = ft.peer(root, k)
+            if part.switch_shard[root] != part.switch_shard[ep.switch]:
+                expected += 1
+    assert len(part.cut_links) == expected
+    # All top-stage links, cut or not, match the closed form.
+    total_top = sum(
+        1 for root in ft.switches_at_level(0) for _ in range(m)
+    )
+    assert total_top == top_stage_link_count(m, n)
+    assert len(part.cut_links) <= top_stage_link_count(m, n)
+    if shards == 1:
+        assert part.cut_links == ()
+
+
+@settings(max_examples=40, deadline=None)
+@given(args=_mn_shards())
+def test_subtree_assignment_is_contiguous_and_total(args):
+    m, n, shards = args
+    assignments = [shard_of_subtree(d, m, shards) for d in range(m)]
+    # Monotone, onto [0, shards), and every shard owns >= 1 subtree.
+    assert assignments == sorted(assignments)
+    assert set(assignments) == set(range(shards))
+
+
+def test_partition_rejects_bad_inputs():
+    ft = FatTree(4, 2)
+    with pytest.raises(ValueError):
+        partition_fattree(ft, 0)
+    with pytest.raises(ValueError):
+        partition_fattree(ft, 5)
+    with pytest.raises(ValueError):
+        partition_fattree(FatTree(4, 1), 2)
+    with pytest.raises(ValueError):
+        top_stage_link_count(4, 1)
+
+
+def test_closed_form_values():
+    assert top_stage_link_count(4, 2) == 8
+    assert top_stage_link_count(8, 2) == 32
+    assert top_stage_link_count(8, 3) == 128
+    assert top_stage_link_count(16, 2) == 128
