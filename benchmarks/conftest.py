@@ -59,6 +59,34 @@ def provenance() -> dict:
     }
 
 
+def write_bench_report(
+    name: str,
+    title: str,
+    *,
+    full: bool,
+    config: dict | None = None,
+    protocol: dict | None = None,
+    **sections,
+) -> Path:
+    """Assemble and write one ``BENCH_*.json`` with the shared envelope.
+
+    Every benchmark report carries the same skeleton — ``benchmark``
+    title, the engine/scheme ``config`` that produced the numbers, a
+    measurement ``protocol`` stamped with the grid actually run
+    (``full``/``quick``), then its own result sections in the order
+    given.  This helper is that skeleton; the provenance stamp comes
+    from :func:`write_bench_json` underneath.
+    """
+    report: dict = {"benchmark": title}
+    if config is not None:
+        report["config"] = dict(config)
+    proto = dict(protocol or {})
+    proto.setdefault("grid", "full" if full else "quick")
+    report["protocol"] = proto
+    report.update(sections)
+    return write_bench_json(name, report, full=full)
+
+
 def write_bench_json(name: str, report: dict, *, full: bool) -> Path:
     """Write one ``BENCH_*.json`` with the provenance stamp prepended.
 

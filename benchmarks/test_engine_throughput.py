@@ -37,7 +37,7 @@ from repro.sim.wheel import make_engine
 from repro.traffic import UniformPattern
 from repro.traffic.patterns import make_pattern
 
-from conftest import write_bench_json
+from conftest import write_bench_report
 
 
 #: The locked FT(8,3) benchmark configuration (see DESIGN.md §9).
@@ -147,21 +147,22 @@ def test_backend_speedup_ft8_3():
 
     best = {b: min(w) for b, w in walls.items()}
     speedup = best["heap"] / best["wheel"]
-    report = {
-        "benchmark": "FT(8,3) mlid, uniform traffic",
-        "config": {
+    path = write_bench_report(
+        "BENCH_engine.json",
+        "FT(8,3) mlid, uniform traffic",
+        full=full,
+        config={
             **{k: v for k, v in BENCH_CONFIG.items() if k != "engine_kw"},
             **BENCH_CONFIG["engine_kw"],
             "measure_ns": measure_ns,
         },
-        "protocol": {
+        protocol={
             "repetitions": reps,
             "interleaved": True,
             "statistic": "min",
-            "grid": "full" if full else "quick",
         },
-        "simulated": {"events": events, "packets": packets},
-        "backends": {
+        simulated={"events": events, "packets": packets},
+        backends={
             b: {
                 "wall_s": [round(w, 4) for w in walls[b]],
                 "best_s": round(best[b], 4),
@@ -170,9 +171,8 @@ def test_backend_speedup_ft8_3():
             }
             for b in ("heap", "wheel")
         },
-        "speedup_packets_per_s": round(speedup, 3),
-    }
-    path = write_bench_json("BENCH_engine.json", report, full=full)
+        speedup_packets_per_s=round(speedup, 3),
+    )
     print(f"\nwheel speedup over heap: {speedup:.2f}x  -> {path}")
 
     # Regression guard, deliberately looser than the committed-evidence

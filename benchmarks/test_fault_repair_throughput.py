@@ -54,7 +54,7 @@ from repro.core.forwarding import MlidScheme
 from repro.core.scheme import get_scheme
 from repro.topology.fattree import FatTree
 
-from conftest import write_bench_json
+from conftest import write_bench_report
 
 
 SCENARIOS = ["single-link", "multi-link", "flapping"]
@@ -183,21 +183,25 @@ def test_repair_speedup():
             "scenarios": scenarios,
         }
 
-    report = {
-        "benchmark": "SM fault-repair re-sweep, scalar vs batched vs incremental",
-        "protocol": {
+    path = write_bench_report(
+        "BENCH_fault_repair.json",
+        "SM fault-repair re-sweep, scalar vs batched vs incremental",
+        full=full,
+        config={
+            "scheme": "mlid",
+            "strict_iba": "relaxed only where the LID plan exceeds 48K",
+        },
+        protocol={
             "repetitions": reps,
             "interleaved": True,
             "statistic": "min",
-            "grid": "full" if full else "quick",
             "scalar_timing": "FaultTolerantTables construction per fault set",
             "kernel_timing": "repair() on a persistent kernel; compile excluded",
             "incremental_timing": "delta repairs from a warmed cache",
             "flapping_sequence": "A, A+B, B, A+B, A, A+B (single-link deltas)",
         },
-        "networks": report_nets,
-    }
-    path = write_bench_json("BENCH_fault_repair.json", report, full=full)
+        networks=report_nets,
+    )
     print(f"\nfault-repair benchmark grid={'full' if full else 'quick'} -> {path}")
 
     # Regression guards, looser than the committed-evidence headline:

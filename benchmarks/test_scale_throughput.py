@@ -40,7 +40,7 @@ from repro.experiments.report import render_table
 from repro.experiments.sweep import run_figure, saturation_throughput
 from repro.ib.config import SimConfig
 
-from conftest import write_bench_json
+from conftest import write_bench_report
 
 
 FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
@@ -152,35 +152,35 @@ def test_scale_flow_sweep():
         }
 
     num_points = len(result.curves) * len(loads)
-    report = {
-        "benchmark": (
+    path = write_bench_report(
+        "BENCH_scale.json",
+        (
             f"FT({config.m},{config.n}) fig-style flow-level sweep "
             f"({config.num_nodes} nodes, {config.pattern} traffic)"
         ),
-        "grid": "full" if FULL else "quick",
-        "mode": "flow",
-        "config": {
+        full=FULL,
+        config={
             "m": config.m,
             "n": config.n,
+            "mode": "flow",
             "pattern": config.pattern,
             "schemes": list(config.schemes),
             "vl_counts": list(config.vl_counts),
             "loads": list(loads),
             "routing_engines_per_switch": 0,
         },
-        "compile": compile_stats,
-        "wall_s": {
+        compile=compile_stats,
+        wall_s={
             "compile": round(total_wall - eval_wall, 2),
             "evaluate": round(eval_wall, 2),
             "total": round(total_wall, 2),
         },
-        "points": num_points,
-        "points_per_s": round(num_points / eval_wall, 2),
-        "curves": curves,
-    }
-    path = write_bench_json("BENCH_scale.json", report, full=FULL)
+        points=num_points,
+        points_per_s=round(num_points / eval_wall, 2),
+        curves=curves,
+    )
     print(
-        f"\n{report['benchmark']}: {num_points} points in "
-        f"{total_wall:.1f}s ({report['wall_s']['compile']}s compile) "
-        f"-> {path}"
+        f"\nFT({config.m},{config.n}) flow-level sweep: {num_points} points "
+        f"in {total_wall:.1f}s "
+        f"({round(total_wall - eval_wall, 2)}s compile) -> {path}"
     )

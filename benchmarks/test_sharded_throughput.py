@@ -25,7 +25,7 @@ import time
 
 import pytest
 
-from conftest import write_bench_json
+from conftest import write_bench_report
 from repro.experiments.runner import run_point
 from repro.ib.config import SimConfig
 
@@ -112,23 +112,25 @@ def test_sharded_packets_per_second():
             "engines": per_engine,
         }
 
-    report = {
-        "benchmark": "sharded engine packets/s vs shard count (mlid, uniform)",
-        "config": {
+    path = write_bench_report(
+        "BENCH_sharded.json",
+        "sharded engine packets/s vs shard count (mlid, uniform)",
+        full=full,
+        config={
+            "scheme": "mlid",
+            "pattern": "uniform",
             "seed": SEED,
             "warmup_ns": WARMUP_NS,
             "measure_ns": measure_ns,
             "shard_counts": list(SHARD_COUNTS),
         },
-        "protocol": {
+        protocol={
             "repetitions": reps,
             "interleaved": True,
             "statistic": "min",
-            "grid": "full" if full else "quick",
         },
-        "networks": nets_report,
-    }
-    path = write_bench_json("BENCH_sharded.json", report, full=full)
+        networks=nets_report,
+    )
     for net_name, data in nets_report.items():
         line = ", ".join(
             f"{name} {e['packets_per_s']:,} pkt/s ({e['speedup_vs_wheel']}x)"

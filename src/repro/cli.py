@@ -29,6 +29,10 @@ Subcommands
     ``--scalar-repair`` forces the scalar oracle), and restores the
     original tables on recovery; reports time-to-detect, time-to-repair
     and packets lost.
+``serve M N [--scheme S] [--port P] [--storm/--no-storm]``
+    Run the route-query service: a TCP server answering DLID/path/
+    flow/load queries from atomic route snapshots, optionally while a
+    link-flap storm repairs the tables underneath (see DESIGN.md §13).
 ``list``
     List the available experiments, schemes and patterns.
 """
@@ -320,14 +324,15 @@ def _cmd_failover(args: argparse.Namespace) -> int:
     else:
         link = default_link(ft)
     (w, lvl), port = link
-    print(
-        f"failover on FT({args.m},{args.n}) [{args.scheme}]: "
-        f"{format_switch(w, lvl)} port {port} down at t={args.fail_at:.0f}ns, "
-        f"up at t={args.recover_at:.0f}ns "
-        f"(detect latency {args.detect_latency:.0f}ns, "
-        f"program {args.program_time:.0f}ns/switch, load {args.load}, "
-        f"repair: {'scalar oracle' if args.scalar_repair else 'fault kernel'})"
-    )
+    if not args.json:
+        print(
+            f"failover on FT({args.m},{args.n}) [{args.scheme}]: "
+            f"{format_switch(w, lvl)} port {port} down at t={args.fail_at:.0f}ns, "
+            f"up at t={args.recover_at:.0f}ns "
+            f"(detect latency {args.detect_latency:.0f}ns, "
+            f"program {args.program_time:.0f}ns/switch, load {args.load}, "
+            f"repair: {'scalar oracle' if args.scalar_repair else 'fault kernel'})"
+        )
     row = run_failover(
         args.m,
         args.n,
@@ -341,6 +346,22 @@ def _cmd_failover(args: argparse.Namespace) -> int:
         seed=args.seed,
         scalar_repair=args.scalar_repair,
     )
+    checks_ok = (
+        row["repair_matches_offline"] is not False
+        and row["recovery_matches_initial"] is not False
+    )
+    if args.json:
+        import json
+        import math
+
+        payload = {
+            k: (None if isinstance(v, float) and math.isnan(v) else v)
+            for k, v in row.items()
+            if k != "records"
+        }
+        payload["records"] = [r.to_dict() for r in row["records"]]
+        print(json.dumps(payload, sort_keys=True))
+        return 0 if checks_ok else 1
     for record in row["records"]:
         print(
             f"  [{record.kind:4s}] detected +{record.time_to_detect:.0f}ns, "
@@ -358,16 +379,66 @@ def _cmd_failover(args: argparse.Namespace) -> int:
             f"  delivery       : {row['delivered']}/{row['generated']} "
             f"packets ({row['backlog']} backlog)"
         )
-    checks_ok = True
     for key, label in [
         ("repair_matches_offline", "repaired LFTs == offline core.fault repair"),
         ("recovery_matches_initial", "post-recovery LFTs == initial SM sweep"),
     ]:
         verdict = row[key]
         state = "OK" if verdict else ("SKIPPED" if verdict is None else "MISMATCH")
-        checks_ok = checks_ok and verdict is not False
         print(f"  {label} : {state}")
     return 0 if checks_ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import (
+        LinkFlapStorm,
+        RouteQueryServer,
+        RouteQueryService,
+    )
+    from repro.service.snapshot import SnapshotStore
+
+    storm = None
+    if args.storm:
+        storm = LinkFlapStorm(
+            args.m,
+            args.n,
+            args.scheme,
+            flap_links=args.flap_links,
+            horizon_ns=args.horizon,
+            pace_s=args.pace,
+        )
+        store = storm.store
+    else:
+        from repro.ib.artifacts import get_artifacts
+
+        store = SnapshotStore()
+        store.publish(get_artifacts(args.m, args.n, args.scheme).snapshot())
+    service = RouteQueryService(store, storm=storm)
+
+    async def amain() -> None:
+        server = RouteQueryServer(
+            service,
+            args.host,
+            args.port,
+            telemetry_interval_s=args.telemetry_interval,
+        )
+        host, port = await server.start()
+        print(f"listening on {host}:{port}", flush=True)
+        if storm is not None:
+            storm.start()
+        await server.serve_until_shutdown()
+
+    try:
+        asyncio.run(amain())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if storm is not None and storm.running():
+            storm.stop()
+    print("server stopped")
+    return 0
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -596,8 +667,60 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="force the scalar repair oracle (default: vectorized fault kernel)",
     )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full failover report as one JSON object",
+    )
     add_engine_args(p)
     p.set_defaults(func=_cmd_failover)
+
+    p = sub.add_parser(
+        "serve", help="run the route-query service (TCP, line-delimited JSON)"
+    )
+    p.add_argument("m", type=int)
+    p.add_argument("n", type=int)
+    p.add_argument("--scheme", default="mlid", choices=["mlid", "slid"])
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 = ephemeral, printed)"
+    )
+    p.add_argument(
+        "--telemetry-interval",
+        type=float,
+        default=1.0,
+        help="seconds between telemetry pushes to subscribers",
+    )
+    storm_group = p.add_mutually_exclusive_group()
+    storm_group.add_argument(
+        "--storm",
+        dest="storm",
+        action="store_true",
+        default=True,
+        help="run a link-flap storm behind the service (default)",
+    )
+    storm_group.add_argument(
+        "--no-storm",
+        dest="storm",
+        action="store_false",
+        help="serve the static baseline tables only",
+    )
+    p.add_argument(
+        "--flap-links", type=int, default=2, help="links flapping in the storm"
+    )
+    p.add_argument(
+        "--horizon",
+        type=float,
+        default=100_000.0,
+        help="storm duration in simulated ns",
+    )
+    p.add_argument(
+        "--pace",
+        type=float,
+        default=0.01,
+        help="wall seconds between storm chunks (0 = run flat out)",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("list", help="list experiments, schemes, patterns")
     p.set_defaults(func=_cmd_list)

@@ -233,6 +233,8 @@ class RouteKernel:
         self._sel: Optional[np.ndarray] = None
         self._alpha_ln: Optional[np.ndarray] = None
         self._checks: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._sel_weights: Optional[np.ndarray] = None
+        self._sel_loads: Optional[np.ndarray] = None
 
     # -- alternate constructors ---------------------------------------
     @classmethod
@@ -542,6 +544,77 @@ class RouteKernel:
             enc, weights=wf, minlength=self.num_switches * self.m
         )
         return loads.reshape(self.num_switches, self.m)
+
+    # ------------------------------------------------------------------
+    # Snapshot-view queries (the route-query service's primitives)
+    # ------------------------------------------------------------------
+    def crossing_mask(self, switch_id: int, port: int) -> np.ndarray:
+        """(num_leaves, num_lids) bool: route (leaf, DLID) traverses the
+        directed channel (switch, 0-based out-port).
+
+        This is the raw "which routes cross link L?" primitive the
+        route-query service (:mod:`repro.service`) answers from — pure
+        array comparison over the compiled route tensor, no copies.
+        """
+        if not 0 <= switch_id < self.num_switches:
+            raise ValueError(
+                f"switch id must be in [0, {self.num_switches}), got {switch_id}"
+            )
+        if not 0 <= port < self.m:
+            raise ValueError(f"port must be in [0, {self.m}), got {port}")
+        return (
+            (self.route_switch == switch_id) & (self.route_port == port)
+        ).any(axis=2)
+
+    def selected_route_weights(self) -> np.ndarray:
+        """(num_leaves, num_lids) count of (src, dst) flows riding each
+        route class under the scheme's path selection (cached).
+
+        ``weights[f, lix]`` is the number of ordered (src, dst) pairs
+        whose source attaches to leaf row ``f`` and whose selected DLID
+        is ``lix + 1`` — i.e. one uniform all-to-all round expressed in
+        the kernel's (leaf, DLID) route-class coordinates.  Feeding it
+        to :meth:`accumulate_link_loads` yields the static link-load
+        estimate the service's ``load`` query serves.
+        """
+        if self._sel_weights is None:
+            sel = self.selected
+            src, dst = np.nonzero(sel)
+            enc = self.attach_leaf[src].astype(np.int64) * self.num_lids + (
+                sel[src, dst] - 1
+            )
+            counts = np.bincount(
+                enc, minlength=self.num_leaves * self.num_lids
+            ).reshape(self.num_leaves, self.num_lids)
+            counts.setflags(write=False)
+            self._sel_weights = counts
+        return self._sel_weights
+
+    def estimated_link_loads(self) -> np.ndarray:
+        """(num_switches, m) flows-per-channel estimate (cached): the
+        selected-route weights accumulated over the route tensor."""
+        if self._sel_loads is None:
+            loads = self.accumulate_link_loads(self.selected_route_weights())
+            loads.setflags(write=False)
+            self._sel_loads = loads
+        return self._sel_loads
+
+    def flows_crossing(
+        self, switch_id: int, port: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(src_ids, dst_ids) of every (src, dst) flow whose *selected*
+        route traverses the channel (switch, 0-based out-port).
+
+        A flow is an ordered (src, dst) pair; its route is the walk of
+        the scheme-selected DLID.  Both arrays are int64 and aligned:
+        flow ``i`` is ``src_ids[i] -> dst_ids[i]``.
+        """
+        mask = self.crossing_mask(switch_id, port)
+        sel = self.selected
+        lix = np.where(sel > 0, sel - 1, 0)
+        cross = mask[self.attach_leaf[:, None], lix] & (sel > 0)
+        src_ids, dst_ids = np.nonzero(cross)
+        return src_ids.astype(np.int64), dst_ids.astype(np.int64)
 
     def cdg_edges(self) -> List[Tuple[Tuple[SwitchLabel, int], ...]]:
         """Channel-dependency edges over **all** (leaf, DLID) routes —

@@ -81,6 +81,14 @@ class RoutingArtifacts:
     def key(self) -> ArtifactKey:
         return (self.m, self.n, self.scheme_name, self.cfg)
 
+    def snapshot(self):
+        """Generation-0 :class:`~repro.service.snapshot.RouteSnapshot`
+        over this artifact's kernel — the zero-cost way to stand up a
+        static (storm-less) route-query service."""
+        from repro.service.snapshot import baseline_snapshot
+
+        return baseline_snapshot(self)
+
 
 def build_artifacts(
     m: int, n: int, scheme: str, cfg: Optional[SimConfig] = None

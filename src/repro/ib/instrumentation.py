@@ -11,13 +11,20 @@ evidence; pure read-only — probing never perturbs the simulation.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.ib.subnet import Subnet
 from repro.topology.labels import SwitchLabel, format_switch
 
-__all__ = ["LinkProbe", "FabricReport", "probe_fabric", "loss_report"]
+__all__ = [
+    "LinkProbe",
+    "FabricReport",
+    "LossReport",
+    "probe_fabric",
+    "loss_report",
+]
 
 #: Fabric layers a unidirectional channel can belong to.
 LAYERS = ("injection", "up", "down", "ejection")
@@ -129,7 +136,33 @@ def probe_fabric(net: Subnet) -> FabricReport:
     return FabricReport(elapsed_ns=elapsed, links=links)
 
 
-def loss_report(net: Subnet) -> List[dict]:
+class LossReport(List[dict]):
+    """Per-channel drop rows with a stable JSON form.
+
+    Behaves exactly like the plain ``List[dict]`` it used to be (each
+    row is ``{"channel": str, "dropped": int}``, busiest first), so
+    existing iteration/indexing callers are untouched, while telemetry
+    and the ``--json`` CLIs serialize it through one schema instead of
+    hand-formatting rows.
+    """
+
+    @property
+    def total_dropped(self) -> int:
+        return sum(row["dropped"] for row in self)
+
+    def to_dict(self) -> dict:
+        """Stable dict form: total plus the per-channel rows."""
+        return {
+            "total_dropped": self.total_dropped,
+            "channels": [dict(row) for row in self],
+        }
+
+    def to_json(self) -> str:
+        """:meth:`to_dict` serialized deterministically (sorted keys)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+
+def loss_report(net: Subnet) -> LossReport:
     """Per-channel drop counts (non-zero only), busiest first.
 
     Packets are only ever dropped on dead links (runtime failure
@@ -152,7 +185,7 @@ def loss_report(net: Subnet) -> List[dict]:
                         "dropped": tx.packets_dropped,
                     }
                 )
-    return sorted(rows, key=lambda r: -r["dropped"])
+    return LossReport(sorted(rows, key=lambda r: -r["dropped"]))
 
 
 def routing_pressure(net: Subnet) -> List[Tuple[SwitchLabel, float]]:

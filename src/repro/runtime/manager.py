@@ -44,6 +44,7 @@ reprogram and lazily recompiled from the switches' current LFTs by
 
 from __future__ import annotations
 
+import json
 import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
@@ -90,6 +91,22 @@ class ReroutingRecord:
     def time_to_repair(self) -> float:
         return self.t_repaired - self.t_event
 
+    def to_dict(self) -> dict:
+        """Stable, JSON-ready form (telemetry / ``failover --json``)."""
+        return {
+            "kind": self.kind,
+            "t_event_ns": self.t_event,
+            "t_detected_ns": self.t_detected,
+            "t_repaired_ns": self.t_repaired,
+            "time_to_detect_ns": self.time_to_detect,
+            "time_to_repair_ns": self.time_to_repair,
+            "faults_known": self.faults_known,
+            "switches_programmed": self.switches_programmed,
+            "entries_changed": self.entries_changed,
+            "flows_rerouted": self.flows_rerouted,
+            "path_inflation": self.path_inflation,
+        }
+
 
 @dataclass
 class FailoverMetrics:
@@ -114,6 +131,28 @@ class FailoverMetrics:
                 (r.path_inflation for r in downs), default=1.0
             ),
         }
+
+    def to_dict(self) -> dict:
+        """Stable, JSON-ready form: the :meth:`as_row` summary (NaN
+        rendered as ``None``) plus the per-record detail.
+
+        This is the one shape telemetry, the ``failover --json`` CLI
+        and the route-query service all emit — consumers parse one
+        schema instead of three hand-formatted variants.
+        """
+        summary = {
+            k: (None if isinstance(v, float) and math.isnan(v) else v)
+            for k, v in self.as_row().items()
+        }
+        return {
+            "summary": summary,
+            "packets_lost": self.packets_lost,
+            "records": [r.to_dict() for r in self.records],
+        }
+
+    def to_json(self) -> str:
+        """:meth:`to_dict` serialized deterministically (sorted keys)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
 
 
 class DynamicSubnetManager:
@@ -174,6 +213,14 @@ class DynamicSubnetManager:
         #: after every live LFT swap (the sharded engine's control
         #: plane records the programming timeline through this).
         self.on_program: Optional[Callable[[float, SwitchLabel, LinearForwardingTable], None]] = None
+        #: Optional observer called as ``on_sweep(record)`` after each
+        #: detection→repair cycle completes (including zero-delta
+        #: sweeps).  Fired from inside the engine's callback, after the
+        #: sweep's last table swap — the point where :attr:`generation`
+        #: and the live LFTs are mutually consistent, which is what the
+        #: route-query service's snapshot publisher
+        #: (:class:`repro.service.SnapshotPublisher`) hooks.
+        self.on_sweep: Optional[Callable[[ReroutingRecord], None]] = None
 
     # ------------------------------------------------------------------
     # Arming
@@ -377,19 +424,20 @@ class DynamicSubnetManager:
         flows, inflation = (
             self._migration_stats(before, known) if deltas else (0, 1.0)
         )
-        self.records.append(
-            ReroutingRecord(
-                kind=kind,
-                t_event=t_event,
-                t_detected=t_detected,
-                t_repaired=t_repaired,
-                faults_known=len(known),
-                switches_programmed=len(deltas),
-                entries_changed=sum(c for _, c in deltas.values()),
-                flows_rerouted=flows,
-                path_inflation=inflation,
-            )
+        record = ReroutingRecord(
+            kind=kind,
+            t_event=t_event,
+            t_detected=t_detected,
+            t_repaired=t_repaired,
+            faults_known=len(known),
+            switches_programmed=len(deltas),
+            entries_changed=sum(c for _, c in deltas.values()),
+            flows_rerouted=flows,
+            path_inflation=inflation,
         )
+        self.records.append(record)
+        if self.on_sweep is not None:
+            self.on_sweep(record)
 
     # ------------------------------------------------------------------
     # Migration statistics
@@ -472,7 +520,25 @@ class DynamicSubnetManager:
 
     @property
     def generation(self) -> int:
-        """Bumped once per reprogrammed switch; 0 until the first delta."""
+        """The live forwarding-state generation counter (read-only).
+
+        Consistency contract:
+
+        * starts at 0 (the initial SM sweep) and is bumped **once per
+          reprogrammed switch**, so it increases monotonically and
+          never repeats;
+        * two reads returning the same value bracket a window in which
+          no live LFT changed — any table, kernel or snapshot derived
+          in between describes exactly what the fabric forwards with;
+        * mid-sweep values are observable (delta programming lands
+          switch-by-switch); a *sweep-consistent* generation is one
+          read inside :attr:`on_sweep`, which fires after the sweep's
+          last swap;
+        * consumers keying caches or snapshots by this value
+          (:meth:`live_kernel`, :class:`repro.service.SnapshotStore`)
+          treat an equal generation as "nothing changed" — publishing
+          the same generation twice is a no-op by contract.
+        """
         return self._generation
 
     def packets_lost(self) -> int:

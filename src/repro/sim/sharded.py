@@ -597,8 +597,9 @@ def fabric_report_from_parts(ft, parts: List[dict], elapsed_ns: float):
     return FabricReport(elapsed_ns=elapsed_ns, links=links)
 
 
-def loss_rows_from_parts(ft, parts: List[dict]) -> List[dict]:
+def loss_rows_from_parts(ft, parts: List[dict]) -> "LossReport":
     """Per-channel drop counts, busiest first (``loss_report`` shape)."""
+    from repro.ib.instrumentation import LossReport
     from repro.topology.labels import format_switch
 
     nodes, switches, _ = _merged_links(parts)
@@ -620,7 +621,7 @@ def loss_rows_from_parts(ft, parts: List[dict]) -> List[dict]:
                         "dropped": dropped,
                     }
                 )
-    return sorted(rows, key=lambda r: -r["dropped"])
+    return LossReport(sorted(rows, key=lambda r: -r["dropped"]))
 
 
 def routing_pressure_from_parts(

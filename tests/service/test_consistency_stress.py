@@ -1,0 +1,174 @@
+"""Snapshot consistency under fire (the tentpole's core claim).
+
+Reader threads hammer the service while a scripted link-flap storm
+repairs tables underneath.  Every answer must be **bit-identical** to
+a fresh :class:`~repro.core.kernel.RouteKernel` compiled from the
+archived LFTs of *some* published generation — the generation the
+answer itself claims.  A torn read (a query spanning two generations,
+or a snapshot built mid-sweep) would diverge from every archive entry.
+
+Also asserted: generations observed per reader are monotonic, and the
+store's publish sequence is strictly increasing.  A hypothesis test
+drives :class:`SnapshotStore.publish` with arbitrary generation
+sequences to pin down the monotonic/no-op contract exactly.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kernel import RouteKernel
+from repro.core.verification import RoutingError
+from repro.ib.artifacts import get_artifacts
+from repro.service import LinkFlapStorm, RouteQueryService
+from repro.service.snapshot import RouteSnapshot, SnapshotStore
+
+NUM_READERS = 4
+QUERIES_PER_READER = 300
+
+
+class _Reader(threading.Thread):
+    """Hammers dlid+trace queries; records (generation, src, dst, answer)."""
+
+    def __init__(self, service, seed):
+        super().__init__(daemon=True)
+        self.service = service
+        self.rng = np.random.default_rng(seed)
+        self.observations = []
+        self.generations = []
+        self.error = None
+
+    def run(self):
+        try:
+            nodes = self.service.ft.num_nodes
+            for _ in range(QUERIES_PER_READER):
+                src = int(self.rng.integers(nodes))
+                dst = int(self.rng.integers(nodes - 1))
+                dst += dst >= src
+                snap = self.service.store.get()
+                try:
+                    answer = snap.trace(src, dst)
+                except RoutingError as exc:
+                    # Mid-repair black holes are legitimate answers —
+                    # they must *also* reproduce from the archive.
+                    answer = ("error", str(exc))
+                self.observations.append(
+                    (snap.generation, src, dst, answer)
+                )
+                self.generations.append(snap.generation)
+        except BaseException as exc:  # surfaced by the main thread
+            self.error = exc
+
+
+def test_stress_bit_identity_under_storm():
+    storm = LinkFlapStorm(
+        4,
+        2,
+        "mlid",
+        flap_links=2,
+        horizon_ns=120_000.0,
+        pace_s=0.005,
+        keep_lfts=True,
+    )
+    service = RouteQueryService(storm.store, storm=storm)
+    readers = [_Reader(service, seed=11 + i) for i in range(NUM_READERS)]
+
+    with storm:
+        for r in readers:
+            r.start()
+        for r in readers:
+            r.join()
+
+    for r in readers:
+        assert r.error is None, f"reader crashed: {r.error!r}"
+
+    # The storm must actually have exercised republication.
+    assert len(storm.store.generations) > 2
+    assert storm.store.generations == sorted(set(storm.store.generations))
+
+    # Per-reader generation observations never move backwards.
+    for r in readers:
+        assert r.generations == sorted(r.generations)
+
+    # Every observation replays bit-identically against an independent
+    # kernel compiled from the archived LFTs of its own generation.
+    archive = storm.publisher.lft_archive
+    oracle_cache = {}
+    ft = service.ft
+    for r in readers:
+        for generation, src, dst, answer in r.observations:
+            assert generation in archive, (
+                f"answer stamped with unpublished generation {generation}"
+            )
+            kernel = oracle_cache.get(generation)
+            if kernel is None:
+                kernel = RouteKernel.from_lfts(
+                    storm.mgr.scheme, archive[generation]
+                )
+                oracle_cache[generation] = kernel
+            try:
+                oracle = kernel.path(
+                    ft.node_from_pid(src), ft.node_from_pid(dst)
+                )
+            except RoutingError as exc:
+                oracle = ("error", str(exc))
+            assert answer == oracle, (
+                f"torn read at generation {generation}: "
+                f"{src}->{dst} gave {answer}, oracle says {oracle}"
+            )
+
+    # The final fabric is healthy: the last snapshot routes everything.
+    final = storm.store.get()
+    assert not final.down_links
+    for src in range(ft.num_nodes):
+        for dst in range(ft.num_nodes):
+            if src != dst:
+                final.trace(src, dst)
+
+
+def test_zero_delta_sweeps_do_not_republish():
+    """A sweep that changes no tables keeps the same generation, and
+    the publisher treats it as a no-op (double-publish contract)."""
+    art = get_artifacts(4, 2, "mlid")
+    store = SnapshotStore()
+    store.publish(art.snapshot())
+    dup = RouteSnapshot(art.kernel, generation=0)
+    assert store.publish(dup) is False
+    assert store.stats()["noop_publishes"] == 1
+    assert store.get().kernel is art.kernel
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=30), max_size=30))
+def test_store_publish_contract(generations):
+    """For any publish sequence: accepted generations are exactly the
+    strictly-increasing ones; equal-to-current is a counted no-op;
+    lower raises; the store always exposes the running maximum."""
+    art = get_artifacts(4, 2, "mlid")
+    store = SnapshotStore()
+    current = None
+    noops = 0
+    accepted = []
+    for g in generations:
+        snap = RouteSnapshot(art.kernel, generation=g)
+        if current is None or g > current:
+            assert store.publish(snap) is True
+            current = g
+            accepted.append(g)
+        elif g == current:
+            assert store.publish(snap) is False
+            noops += 1
+        else:
+            with pytest.raises(ValueError, match="monotonic"):
+                store.publish(snap)
+        if current is not None:
+            assert store.get().generation == current
+    assert store.generations == accepted
+    stats = store.stats()
+    assert stats["publishes"] == len(accepted)
+    assert stats["noop_publishes"] == noops

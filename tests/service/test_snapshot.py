@@ -1,0 +1,152 @@
+"""RouteSnapshot / SnapshotStore semantics against the kernel oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import trace_path
+from repro.core.verification import RoutingError
+from repro.ib.artifacts import get_artifacts
+from repro.service.snapshot import (
+    RouteSnapshot,
+    SnapshotStore,
+    baseline_snapshot,
+)
+
+
+@pytest.fixture(scope="module")
+def art42():
+    return get_artifacts(4, 2, "mlid")
+
+
+@pytest.fixture(scope="module")
+def snap42(art42):
+    return baseline_snapshot(art42)
+
+
+class TestRouteSnapshot:
+    def test_dlid_matches_scheme_matrix(self, art42, snap42):
+        matrix = art42.scheme.dlid_matrix()
+        nodes = art42.ft.num_nodes
+        for src in range(nodes):
+            for dst in range(nodes):
+                if src == dst:
+                    continue
+                assert snap42.dlid(src, dst) == int(matrix[src, dst])
+
+    def test_dlid_rejects_bad_pids(self, snap42):
+        with pytest.raises(ValueError):
+            snap42.dlid(0, 0)
+        with pytest.raises(ValueError):
+            snap42.dlid(-1, 2)
+        with pytest.raises(ValueError):
+            snap42.dlid(0, 99)
+
+    def test_trace_is_scalar_identical(self, art42, snap42):
+        ft = art42.ft
+        for src in range(ft.num_nodes):
+            for dst in range(ft.num_nodes):
+                if src == dst:
+                    continue
+                got = snap42.trace(src, dst)
+                want = trace_path(
+                    art42.scheme,
+                    ft.node_from_pid(src),
+                    ft.node_from_pid(dst),
+                )
+                assert got == want
+
+    def test_trace_explicit_dlid(self, art42, snap42):
+        # Any valid DLID for the destination must trace identically to
+        # the kernel's own answer for that DLID.
+        ft = art42.ft
+        dlid = snap42.dlid(0, 5)
+        got = snap42.trace(0, 5, dlid=dlid)
+        want = art42.kernel.path(
+            ft.node_from_pid(0), ft.node_from_pid(5), dlid=dlid
+        )
+        assert got == want
+
+    def test_trace_bad_dlid_raises_like_kernel(self, snap42):
+        with pytest.raises((RoutingError, ValueError)):
+            snap42.trace(0, 5, dlid=0)
+
+    def test_flows_crossing_matches_kernel(self, art42, snap42):
+        src_ids, dst_ids = snap42.flows_crossing(0, 0)
+        k_src, k_dst = art42.kernel.flows_crossing(0, 0)
+        assert np.array_equal(src_ids, k_src)
+        assert np.array_equal(dst_ids, k_dst)
+        # Every listed flow's traced route really crosses the channel.
+        sw_label = art42.ft.switches[0]
+        for s, d in zip(src_ids, dst_ids):
+            trace = snap42.trace(int(s), int(d))
+            hops = list(zip(trace.switches, trace.ports))
+            assert (sw_label, 0) in hops
+
+    def test_link_load_consistency(self, art42, snap42):
+        loads = art42.kernel.estimated_link_loads()
+        assert snap42.link_load(0, 0) == float(loads[0, 0])
+        # Sum over all channels equals total hops of all selected flows.
+        total_hops = sum(
+            snap42.trace(s, d).hops - 1  # node-attach links excluded
+            for s in range(art42.ft.num_nodes)
+            for d in range(art42.ft.num_nodes)
+            if s != d
+        )
+        assert float(loads.sum()) == float(total_hops)
+
+    def test_top_loads_sorted_and_bounded(self, snap42):
+        top = snap42.top_loads(4)
+        assert len(top) == 4
+        loads = [load for _, _, load in top]
+        assert loads == sorted(loads, reverse=True)
+        assert snap42.link_load(top[0][0], top[0][1]) == top[0][2]
+        with pytest.raises(ValueError):
+            snap42.top_loads(0)
+
+
+class TestSnapshotStore:
+    def test_get_before_publish_raises(self):
+        store = SnapshotStore()
+        assert store.current is None
+        with pytest.raises(RuntimeError):
+            store.get()
+
+    def test_publish_and_noop(self, art42):
+        store = SnapshotStore()
+        snap0 = baseline_snapshot(art42)
+        assert store.publish(snap0) is True
+        assert store.get() is snap0
+
+        # Double-publish of the same generation is a counted no-op —
+        # the store keeps the first snapshot.
+        dup = RouteSnapshot(art42.kernel, generation=0)
+        assert store.publish(dup) is False
+        assert store.get() is snap0
+        assert store.stats()["noop_publishes"] == 1
+
+        snap5 = RouteSnapshot(art42.kernel, generation=5)
+        assert store.publish(snap5) is True
+        assert store.generations == [0, 5]
+
+    def test_backwards_publish_raises(self, art42):
+        store = SnapshotStore()
+        store.publish(RouteSnapshot(art42.kernel, generation=3))
+        with pytest.raises(ValueError, match="monotonic"):
+            store.publish(RouteSnapshot(art42.kernel, generation=1))
+
+    def test_stats_shape(self, art42):
+        store = SnapshotStore()
+        assert store.stats()["generation"] is None
+        store.publish(baseline_snapshot(art42))
+        stats = store.stats()
+        assert stats["publishes"] == 1
+        assert stats["generation"] == 0
+        assert stats["snapshot_age_s"] >= 0
+
+
+def test_artifacts_snapshot_plumbing(art42):
+    snap = art42.snapshot()
+    assert snap.generation == 0
+    assert snap.kernel is art42.kernel

@@ -286,3 +286,36 @@ def test_failover_explicit_link(capsys):
 def test_failover_bad_times_rejected():
     with pytest.raises(SystemExit):
         main(["failover", "4", "2", "--fail-at", "500", "--recover-at", "400"])
+
+
+def test_failover_json(capsys):
+    import json
+
+    args = [
+        "failover", "4", "2",
+        "--fail-at", "5000", "--recover-at", "20000", "--json",
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    payload = json.loads(out)  # exactly one JSON object, nothing else
+    assert payload["repair_matches_offline"] is True
+    assert payload["recovery_matches_initial"] is True
+    assert payload["records"], "no rerouting records in the JSON report"
+    record = payload["records"][0]
+    assert {"kind", "time_to_detect_ns", "time_to_repair_ns"} <= set(record)
+
+
+def test_serve_in_parser():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(["serve", "4", "2", "--no-storm"])
+    assert args.func.__name__ == "_cmd_serve"
+    assert args.storm is False
+    assert args.port == 0
+
+    args = build_parser().parse_args(
+        ["serve", "8", "2", "--port", "7777", "--flap-links", "3"]
+    )
+    assert args.storm is True
+    assert args.port == 7777
+    assert args.flap_links == 3
