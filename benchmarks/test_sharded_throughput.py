@@ -13,6 +13,15 @@ delivered packets by that wall time.  The 1-shard row isolates the
 window-protocol + process overhead (it simulates bit-identically to
 the wheel).
 
+Transport ablation: the ``sharded-2-pipe`` row re-runs the 2-shard
+point over the legacy pickled-tuple Pipe transport so the speedup from
+the shm-ring transport (the default) is attributable.  The ablation
+runs at shards=2, not shards=1, because a 1-shard fleet has no cut
+links — both transports take the identical no-cuts fast path and would
+measure the same thing.  The two 2-shard rows must simulate
+bit-identically (the differential suite pins this record-for-record);
+only wall time may differ.
+
 The ≥3x-on-4-shards acceptance assertion is gated on the host actually
 having ≥4 CPUs — conservative parallel simulation cannot beat the
 serial engine on a 1-core box, and the provenance stamp
@@ -69,6 +78,13 @@ def test_sharded_packets_per_second():
         (f"sharded-{k}", SimConfig(engine="sharded", shards=k))
         for k in SHARD_COUNTS
     ]
+    # Transport ablation: the same 2-shard point over the pipe oracle.
+    engines.append(
+        (
+            "sharded-2-pipe",
+            SimConfig(engine="sharded", shards=2, shard_transport="pipe"),
+        )
+    )
     walls = {name: [] for name, _ in engines}
     results = {}
     for _ in range(reps):  # interleaved: one full set per repetition
@@ -107,6 +123,11 @@ def test_sharded_packets_per_second():
             assert per_engine[name]["accepted"] == pytest.approx(
                 per_engine["wheel"]["accepted"], rel=0.03
             )
+        # The transport is pure plumbing: both 2-shard rows simulate
+        # identically, so any packets/s gap is attributable to it alone.
+        assert (
+            results[("sharded-2-pipe", m, n)] == results[("sharded-2", m, n)]
+        )
         nets_report[f"FT({m},{n})"] = {
             "load": net["load"],
             "engines": per_engine,
@@ -123,6 +144,7 @@ def test_sharded_packets_per_second():
             "warmup_ns": WARMUP_NS,
             "measure_ns": measure_ns,
             "shard_counts": list(SHARD_COUNTS),
+            "shard_transport": "shm (sharded-2-pipe row: pipe)",
         },
         protocol={
             "repetitions": reps,

@@ -162,6 +162,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     config = get_experiment(args.id)
     if config.m == 0:
         raise SystemExit(f"{args.id} is not a simulated figure; see `repro-ibft list`")
+    validate_shards(args.engine, args.shards, config.m, config.n)
     print(config.describe())
     from repro.ib.config import SimConfig
 
@@ -262,6 +263,17 @@ def _cmd_probe(args: argparse.Namespace) -> int:
         f"{args.load}: accepted {res['accepted']:.4f} bytes/ns/node, "
         f"latency {res['latency_mean']:.0f} ns"
     )
+    if "window_profile" in res:
+        wp = res["window_profile"]
+        busy = wp["compute_ns"] + wp["transport_ns"]
+        print(
+            f"window profile: {wp['windows']} windows — "
+            f"compute {wp['compute_ns'] / 1e6:.1f} ms, "
+            f"sync-wait {wp['sync_wait_ns'] / 1e6:.1f} ms, "
+            f"transport {wp['transport_ns'] / 1e6:.1f} ms "
+            f"(busy {busy / max(wp['wall_ns'], 1):.0%} of "
+            f"{wp['wall_ns'] / 1e6:.1f} ms shard-wall)"
+        )
     print(render_table(report.layer_stats(), title="\nutilization by layer"))
     print("hottest channels:")
     for link in report.hottest(5):
@@ -473,13 +485,59 @@ def add_engine_args(p: argparse.ArgumentParser) -> None:
         default=1,
         help="shard-process count for --engine sharded (default: 1)",
     )
+    p.add_argument(
+        "--transport",
+        default="shm",
+        choices=("shm", "pipe"),
+        help=(
+            "cross-shard data plane for --engine sharded: shm moves "
+            "payloads through shared-memory record rings (default), "
+            "pipe keeps the pickled-tuple oracle (DESIGN.md §14)"
+        ),
+    )
+    p.add_argument(
+        "--profile-windows",
+        action="store_true",
+        help=(
+            "collect the per-shard window profile (compute / sync-wait "
+            "/ transport ns) on sharded runs; probe prints it"
+        ),
+    )
+
+
+def validate_shards(engine: str, shards: int, m: int, n: int) -> None:
+    """Reject topology/shard combinations up front with a one-line
+    actionable error instead of failing deep inside
+    :func:`repro.topology.partition.partition_fattree`."""
+    if engine != "sharded":
+        return
+    if n < 2:
+        raise SystemExit(
+            f"--engine sharded cannot partition FT({m},{n}): subtree "
+            "partitioning needs n >= 2 (an FT(m,1) has a single switch "
+            "and nothing to cut)"
+        )
+    if shards > m:
+        raise SystemExit(
+            f"--shards {shards} exceeds the {m} top-level subtrees of "
+            f"FT({m},{n}); use at most {m}"
+        )
+    if m % shards:
+        divisors = [d for d in range(1, m + 1) if m % d == 0]
+        raise SystemExit(
+            f"--shards {shards} does not divide the {m} top-level "
+            f"subtrees of FT({m},{n}) evenly; use a divisor of {m} "
+            f"({', '.join(str(d) for d in divisors)})"
+        )
 
 
 def resolve_engine(args: argparse.Namespace) -> dict:
-    """Validate ``--engine``/``--shards`` into SimConfig kwargs.
+    """Validate ``--engine``/``--shards``/``--transport`` into
+    SimConfig kwargs.
 
-    Raises a readable ``SystemExit`` for unknown engine names instead
-    of an argparse choices traceback.
+    Raises a readable ``SystemExit`` for unknown engine names or
+    topology/shard mismatches (when the command carries ``m``/``n``)
+    instead of an argparse choices traceback or a deep ValueError.
     """
     if args.engine not in ENGINE_CHOICES:
         raise SystemExit(
@@ -493,7 +551,22 @@ def resolve_engine(args: argparse.Namespace) -> dict:
             f"--shards only applies to --engine sharded (got engine "
             f"{args.engine!r})"
         )
-    return {"engine": args.engine, "shards": args.shards}
+    profile = getattr(args, "profile_windows", False)
+    if profile and args.engine != "sharded":
+        raise SystemExit(
+            "--profile-windows only applies to --engine sharded "
+            f"(got engine {args.engine!r})"
+        )
+    m = getattr(args, "m", None)
+    n = getattr(args, "n", None)
+    if m is not None and n is not None:
+        validate_shards(args.engine, args.shards, m, n)
+    return {
+        "engine": args.engine,
+        "shards": args.shards,
+        "shard_transport": getattr(args, "transport", "shm"),
+        "profile_windows": profile,
+    }
 
 
 def _add_mode_args(p: argparse.ArgumentParser) -> None:

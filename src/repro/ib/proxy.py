@@ -48,6 +48,7 @@ from repro.ib.config import SimConfig
 from repro.ib.link import Transmitter
 from repro.ib.packet import Packet
 from repro.ib.switch import InputUnit, SwitchModel
+from repro.ib.wire import MSG_CREDIT, MSG_PKT
 from repro.sim.engine import Engine
 
 __all__ = [
@@ -59,10 +60,6 @@ __all__ = [
     "pack_packet",
     "unpack_packet",
 ]
-
-#: Cross-shard message kinds.
-MSG_PKT = 0
-MSG_CREDIT = 1
 
 
 def pack_packet(packet: Packet) -> tuple:
@@ -116,7 +113,9 @@ def unpack_packet(payload: tuple) -> Packet:
 
 
 class Outbox:
-    """Per-shard staging area for outbound cross-shard messages.
+    """Per-shard staging area for outbound cross-shard messages
+    (the tuple/pipe transport; :class:`repro.ib.wire.RingOutbox` is the
+    shared-memory counterpart with the same producer API).
 
     Messages accumulate per destination shard in production order (the
     per-channel FIFO order); :meth:`drain` hands the batches to the
@@ -136,6 +135,19 @@ class Outbox:
         if batch is None:
             batch = self._batches[dest_shard] = []
         batch.append((time, kind, chan, payload))
+
+    def send_packet(
+        self, dest_shard: int, time: float, chan: int, packet: Packet
+    ) -> None:
+        """Stage a boundary packet (typed entry point both transports
+        share; here it pickles as today's compact tuple)."""
+        self.send(dest_shard, time, MSG_PKT, chan, pack_packet(packet))
+
+    def send_credit(
+        self, dest_shard: int, time: float, chan: int, vl: int
+    ) -> None:
+        """Stage a boundary credit return."""
+        self.send(dest_shard, time, MSG_CREDIT, chan, vl)
 
     def drain(self) -> Dict[int, list]:
         """Hand over and clear the staged batches."""
@@ -203,9 +215,7 @@ class BoundaryTransmitter(Transmitter):
             packet.t_injected = now
         deliver = now + self._flying_ns
         self._deliver_time = deliver
-        self._outbox.send(
-            self._dest_shard, deliver, MSG_PKT, self._chan, pack_packet(packet)
-        )
+        self._outbox.send_packet(self._dest_shard, deliver, self._chan, packet)
         self._deliver_ev = None
         self._tail_ev = engine.schedule_after(
             packet.size_bytes * self._byte_ns,
@@ -271,12 +281,8 @@ class BoundaryInputUnit(InputUnit):
                 packet.route = []
             packet.route.append(self.switch.name)
         self._routing[vl] = False
-        self._outbox.send(
-            self._src_shard,
-            self.engine.now + self._flying_ns,
-            MSG_CREDIT,
-            self._chan,
-            vl,
+        self._outbox.send_credit(
+            self._src_shard, self.engine.now + self._flying_ns, self._chan, vl
         )
         tx.accept(packet)
         if buffer.head() is not None:

@@ -300,12 +300,19 @@ def build_shard(
     seed: int,
     shard_id: int,
     shards: int,
+    outbox=None,
 ) -> ShardNet:
     """Construct and wire one shard of an IBFT(m, n) subnet.
 
     The shard always runs on the wheel backend internally (the
     ``engine="sharded"`` setting selects this *orchestration*, not the
     per-process scheduler).
+
+    ``outbox`` selects the cross-shard data plane: any object with the
+    ``send_packet`` / ``send_credit`` producer API — the default
+    pickled-tuple :class:`~repro.ib.proxy.Outbox`, or a
+    :class:`repro.ib.wire.RingOutbox` writing packed records straight
+    into shared-memory rings.
     """
     ft = FatTree(m, n)
     scheme = get_scheme(scheme_name, ft)
@@ -315,7 +322,8 @@ def build_shard(
     if not 0 <= shard_id < shards:
         raise ValueError(f"shard_id {shard_id} outside [0, {shards})")
     engine = make_engine("wheel")
-    outbox = Outbox()
+    if outbox is None:
+        outbox = Outbox()
 
     # Channel map from the partition's deterministic cut-link order.
     # tx_chans: (switch, phys) -> (chan, dest shard) for local senders;

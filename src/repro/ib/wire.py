@@ -1,0 +1,464 @@
+"""Packed wire format + shared-memory rings for cross-shard transport.
+
+PR 7's sharded engine moved every cross-shard packet and credit as a
+pickled Python tuple through the coordinator's ``Pipe`` — measured at
+0.30–0.65× the single-process wheel, the IPC *was* the simulation.
+This module is the zero-copy data plane that replaces it (DESIGN.md
+§14):
+
+* **Packed codec.**  Every cross-shard message — packet header or
+  credit return — is one fixed-width 64-byte record
+  (:data:`RECORD_STRUCT`).  ``encode_packet_into`` writes a record
+  straight from a live :class:`~repro.ib.packet.Packet` into a
+  preallocated buffer; ``decode_record`` yields exactly the
+  ``(apply_time, kind, chan, payload)`` quadruple the tuple transport
+  carries, with the packet payload bit-exact against
+  :func:`repro.ib.proxy.pack_packet` (property-tested in
+  ``tests/ib/test_wire.py``).  Records never hold the per-packet
+  ``route`` trace — ``SimConfig.record_routes`` runs fall back to the
+  tuple transport.
+
+* **Shared-memory rings.**  One :class:`ShmRing` per *directed* shard
+  pair: a single-producer single-consumer ring of 64-byte records in a
+  ``multiprocessing.shared_memory`` segment, with monotonically
+  increasing head/tail record counters in the segment header (seqlock
+  style: the producer publishes data before bumping ``tail``, the
+  consumer only ever bumps ``head``).  The window protocol's control
+  frames are the actual synchronization points — a consumer only reads
+  up to the record count the coordinator granted it, and that count
+  travelled producer → coordinator → consumer through pipes, so every
+  granted record's bytes happened-before the read on any memory model.
+  The coordinator never touches payloads at all: it routes 16-byte
+  watermarks, not packets.
+
+Capacity is sized so a ring can absorb every message its channels can
+produce across the bounded number of windows between two drains of the
+consumer (a cut link emits at most one packet and one credit per
+lookahead window); overflow therefore indicates a protocol bug and
+raises instead of blocking.
+"""
+
+from __future__ import annotations
+
+import math
+import secrets
+import struct
+from multiprocessing import shared_memory
+from typing import Dict, List, Tuple
+
+from repro.ib.packet import Packet
+
+__all__ = [
+    "RECORD_SIZE",
+    "RECORD_STRUCT",
+    "MAX_FIELD_U32",
+    "MAX_MESSAGE_ID",
+    "encode_packet_into",
+    "encode_credit_into",
+    "decode_record",
+    "packet_payload_from_packet",
+    "ShmRing",
+    "RingOutbox",
+    "ring_name",
+]
+
+#: Message kinds — must stay numerically equal to repro.ib.proxy's
+#: MSG_PKT / MSG_CREDIT (proxy imports them from here).
+MSG_PKT = 0
+MSG_CREDIT = 1
+
+#: One cross-shard message, cache-line sized.  Field order:
+#: apply_time f64 | kind u8 | vl u8 | is_message_tail u8 | pad u8 |
+#: chan u32 | slid u32 | dlid u32 | src_pid u32 | dst_pid u32 |
+#: size_bytes u32 | hops u32 | message_id i64 | t_created f64 |
+#: t_injected f64  — 8 + 4 + 28 + 8 + 16 = 64 bytes.
+RECORD_STRUCT = struct.Struct("<dBBBBIIIIIIIqdd")
+RECORD_SIZE = RECORD_STRUCT.size
+assert RECORD_SIZE == 64
+
+#: Documented field ranges (encode raises ``struct.error`` beyond them;
+#: the hypothesis round-trip suite draws from exactly these bounds).
+MAX_FIELD_U32 = 2**32 - 1
+MAX_MESSAGE_ID = 2**63 - 1
+
+_CREDIT_BLANK = (0, 0, 0, 0, 0, 0, 0, 0.0, 0.0)
+
+
+def encode_packet_into(
+    buf, offset: int, apply_time: float, chan: int, packet: Packet
+) -> None:
+    """Write one packet record at ``buf[offset:offset+64]``.
+
+    Reads the fields straight off the live packet — no intermediate
+    tuple or list is built.  The per-process ``serial`` is not shipped
+    (the receiving shard assigns its own) and ``route`` traces cannot
+    ride a fixed-width record: callers must route ``record_routes``
+    runs over the tuple transport instead.
+    """
+    if packet.route is not None:
+        raise ValueError(
+            "packet route traces cannot ride fixed-width wire records; "
+            "use shard_transport='pipe' with record_routes"
+        )
+    RECORD_STRUCT.pack_into(
+        buf,
+        offset,
+        apply_time,
+        MSG_PKT,
+        packet.vl,
+        1 if packet.is_message_tail else 0,
+        0,
+        chan,
+        packet.slid,
+        packet.dlid,
+        packet.src_pid,
+        packet.dst_pid,
+        packet.size_bytes,
+        packet.hops,
+        packet.message_id,
+        packet.t_created,
+        packet.t_injected,
+    )
+
+
+def encode_credit_into(
+    buf, offset: int, apply_time: float, chan: int, vl: int
+) -> None:
+    """Write one credit-return record at ``buf[offset:offset+64]``."""
+    RECORD_STRUCT.pack_into(
+        buf, offset, apply_time, MSG_CREDIT, vl, 0, 0, chan, *_CREDIT_BLANK
+    )
+
+
+def decode_record(buf, offset: int) -> Tuple[float, int, int, object]:
+    """Decode one record into the tuple transport's message quadruple.
+
+    Returns ``(apply_time, kind, chan, payload)`` where the packet
+    payload is exactly :func:`repro.ib.proxy.pack_packet`'s 12-tuple
+    (``route`` always ``None``) and the credit payload is the VL int —
+    so both transports feed the identical ``ShardNet.inject`` path.
+    """
+    (
+        apply_time,
+        kind,
+        vl,
+        tail,
+        _pad,
+        chan,
+        slid,
+        dlid,
+        src_pid,
+        dst_pid,
+        size_bytes,
+        hops,
+        message_id,
+        t_created,
+        t_injected,
+    ) = RECORD_STRUCT.unpack_from(buf, offset)
+    if kind == MSG_CREDIT:
+        return (apply_time, kind, chan, vl)
+    return (
+        apply_time,
+        kind,
+        chan,
+        (
+            slid,
+            dlid,
+            src_pid,
+            dst_pid,
+            size_bytes,
+            vl,
+            t_created,
+            t_injected,
+            hops,
+            message_id,
+            bool(tail),
+            None,
+        ),
+    )
+
+
+def packet_payload_from_packet(packet: Packet) -> tuple:
+    """The 12-tuple a packet record decodes to (testing aid)."""
+    return (
+        packet.slid,
+        packet.dlid,
+        packet.src_pid,
+        packet.dst_pid,
+        packet.size_bytes,
+        packet.vl,
+        packet.t_created,
+        packet.t_injected,
+        packet.hops,
+        packet.message_id,
+        bool(packet.is_message_tail),
+        None,
+    )
+
+
+def ring_name(token: str, src: int, dst: int) -> str:
+    """Deterministic segment name for the ``src → dst`` ring of a run."""
+    return f"repro-ring-{token}-{src}-{dst}"
+
+
+def make_run_token() -> str:
+    """Collision-resistant token naming one coordinator run's segments."""
+    return secrets.token_hex(4)
+
+
+#: Segment header: tail (records ever written) and head (records ever
+#: consumed), both u64 at fixed offsets, then the record area.
+_HEADER_SIZE = 64
+_TAIL_OFF = 0
+_HEAD_OFF = 8
+_U64 = struct.Struct("<Q")
+
+
+class ShmRing:
+    """A single-producer single-consumer ring of 64-byte records.
+
+    ``tail`` and ``head`` are monotonically increasing *record counts*
+    (position = count mod capacity); the producer alone writes ``tail``,
+    the consumer alone writes ``head``, and each index update is one
+    aligned 8-byte store after its records' bytes — the seqlock-style
+    discipline.  Cross-process visibility is additionally anchored by
+    the window protocol's control frames (see the module docstring), so
+    :meth:`read_upto` consumes only records whose count the coordinator
+    has already relayed.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, capacity: int, owner: bool):
+        self._shm = shm
+        self._buf = shm.buf
+        self.capacity = capacity
+        self._owner = owner
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------
+    @classmethod
+    def create(cls, name: str, capacity: int) -> "ShmRing":
+        size = _HEADER_SIZE + capacity * RECORD_SIZE
+        shm = shared_memory.SharedMemory(name=name, create=True, size=size)
+        shm.buf[:_HEADER_SIZE] = bytes(_HEADER_SIZE)
+        return cls(shm, capacity, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "ShmRing":
+        shm = shared_memory.SharedMemory(name=name)
+        try:
+            # The resource tracker assumes whoever touches a segment
+            # owns it; an attaching worker with its *own* tracker
+            # (spawn/forkserver) must not let that tracker unlink the
+            # coordinator's segment when the worker exits.  Under fork
+            # the tracker process is shared with the creator, and
+            # unregistering here would strip the creator's entry.
+            import multiprocessing
+            from multiprocessing import resource_tracker
+
+            if multiprocessing.get_start_method() != "fork":
+                resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals moved
+            pass
+        capacity = (shm.size - _HEADER_SIZE) // RECORD_SIZE
+        return cls(shm, capacity, owner=False)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._buf = None
+        self._shm.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - double unlink
+                pass
+
+    # -- indices --------------------------------------------------------
+    @property
+    def tail(self) -> int:
+        return _U64.unpack_from(self._buf, _TAIL_OFF)[0]
+
+    @property
+    def head(self) -> int:
+        return _U64.unpack_from(self._buf, _HEAD_OFF)[0]
+
+    # -- producer side --------------------------------------------------
+    def _slot(self, count: int) -> int:
+        return _HEADER_SIZE + (count % self.capacity) * RECORD_SIZE
+
+    def _claim(self) -> Tuple[int, int]:
+        tail = self.tail
+        if tail - self.head >= self.capacity:
+            raise RuntimeError(
+                f"shard ring overflow ({self.capacity} records): the "
+                "consumer shard was not granted a drain window in time "
+                "— conservative-protocol bug"
+            )
+        return tail, self._slot(tail)
+
+    def push_packet(self, apply_time: float, chan: int, packet: Packet) -> None:
+        tail, off = self._claim()
+        encode_packet_into(self._buf, off, apply_time, chan, packet)
+        _U64.pack_into(self._buf, _TAIL_OFF, tail + 1)
+
+    def push_credit(self, apply_time: float, chan: int, vl: int) -> None:
+        tail, off = self._claim()
+        encode_credit_into(self._buf, off, apply_time, chan, vl)
+        _U64.pack_into(self._buf, _TAIL_OFF, tail + 1)
+
+    # -- consumer side --------------------------------------------------
+    def read_upto(self, limit: int) -> List[Tuple[float, int, int, object]]:
+        """Consume and decode records ``head .. limit`` (exclusive).
+
+        ``limit`` is the coordinator-granted cumulative record count;
+        records at or beyond it (written during the still-running
+        window) stay in the ring for a later grant.
+        """
+        head = self.head
+        if limit < head:
+            raise RuntimeError(
+                f"ring grant ran backwards: limit {limit} < head {head}"
+            )
+        if limit == head:
+            return []
+        out = []
+        append = out.append
+        buf = self._buf
+        cap = self.capacity
+        n = limit - head
+        start = head % cap
+        first = min(n, cap - start)
+        # At most two contiguous byte ranges (the read may wrap), each
+        # decoded in one C-level iter_unpack pass over the live view.
+        for seg_start, seg_n in ((start, first), (0, n - first)):
+            if not seg_n:
+                continue
+            off = _HEADER_SIZE + seg_start * RECORD_SIZE
+            for (
+                apply_time,
+                kind,
+                vl,
+                tail,
+                _pad,
+                chan,
+                slid,
+                dlid,
+                src_pid,
+                dst_pid,
+                size_bytes,
+                hops,
+                message_id,
+                t_created,
+                t_injected,
+            ) in RECORD_STRUCT.iter_unpack(
+                buf[off:off + seg_n * RECORD_SIZE]
+            ):
+                if kind == MSG_CREDIT:
+                    append((apply_time, kind, chan, vl))
+                else:
+                    append(
+                        (
+                            apply_time,
+                            kind,
+                            chan,
+                            (
+                                slid,
+                                dlid,
+                                src_pid,
+                                dst_pid,
+                                size_bytes,
+                                vl,
+                                t_created,
+                                t_injected,
+                                hops,
+                                message_id,
+                                bool(tail),
+                                None,
+                            ),
+                        )
+                    )
+        _U64.pack_into(buf, _HEAD_OFF, limit)
+        return out
+
+
+class RingOutbox:
+    """Per-shard staging of outbound messages, written straight into
+    the destination rings at schedule time (zero copies downstream).
+
+    Tracks per-destination window watermarks — ``(records written, min
+    apply time)`` since the last :meth:`drain_watermarks` — which are
+    the only thing shipped through the coordinator's pipe.
+    """
+
+    __slots__ = ("_rings", "_count", "_min")
+
+    def __init__(self, rings: Dict[int, ShmRing]):
+        self._rings = rings
+        self._count: Dict[int, int] = {dest: 0 for dest in rings}
+        self._min: Dict[int, float] = {dest: math.inf for dest in rings}
+
+    def send_packet(
+        self, dest_shard: int, time: float, chan: int, packet: Packet
+    ) -> None:
+        self._rings[dest_shard].push_packet(time, chan, packet)
+        self._count[dest_shard] += 1
+        if time < self._min[dest_shard]:
+            self._min[dest_shard] = time
+
+    def send_credit(
+        self, dest_shard: int, time: float, chan: int, vl: int
+    ) -> None:
+        self._rings[dest_shard].push_credit(time, chan, vl)
+        self._count[dest_shard] += 1
+        if time < self._min[dest_shard]:
+            self._min[dest_shard] = time
+
+    def drain_watermarks(self) -> Dict[int, Tuple[int, float]]:
+        """Per-destination ``(count, min apply)`` since the last drain."""
+        out = {}
+        for dest, count in self._count.items():
+            if count:
+                out[dest] = (count, self._min[dest])
+                self._count[dest] = 0
+                self._min[dest] = math.inf
+        return out
+
+    @property
+    def pending(self) -> int:
+        return sum(self._count.values())
+
+
+def create_rings(
+    token: str, pairs, capacity: int
+) -> Dict[Tuple[int, int], ShmRing]:
+    """Coordinator-side: create one ring per directed shard pair."""
+    rings: Dict[Tuple[int, int], ShmRing] = {}
+    try:
+        for src, dst in pairs:
+            rings[(src, dst)] = ShmRing.create(
+                ring_name(token, src, dst), capacity
+            )
+    except BaseException:
+        for ring in rings.values():
+            ring.close()
+        raise
+    return rings
+
+
+def attach_outbound(
+    token: str, shard_id: int, dests
+) -> Dict[int, ShmRing]:
+    """Worker-side: attach this shard's outbound (producer) rings."""
+    return {
+        dst: ShmRing.attach(ring_name(token, shard_id, dst)) for dst in dests
+    }
+
+
+def attach_inbound(
+    token: str, shard_id: int, srcs
+) -> Dict[int, ShmRing]:
+    """Worker-side: attach this shard's inbound (consumer) rings."""
+    return {
+        src: ShmRing.attach(ring_name(token, src, shard_id)) for src in srcs
+    }

@@ -4,7 +4,7 @@ The sharded engine (``SimConfig(engine="sharded", shards=K)``) runs a
 fat-tree subnet as ``K`` single-process :class:`WheelEngine` shards —
 one per block of top-level subtrees (:mod:`repro.topology.partition`)
 — synchronized by a coordinator with a conservative barrier-window
-protocol (DESIGN.md §12):
+protocol (DESIGN.md §12, transport and overlap in §14):
 
 * **Lookahead.**  Both cross-shard interactions — header delivery on a
   cut link and the credit returning across it — are staged at schedule
@@ -14,22 +14,43 @@ protocol (DESIGN.md §12):
   ``L = flying_time_ns``.
 * **Windows.**  At each barrier the coordinator computes the fleet
   floor ``A`` — the minimum over every shard's next-event time and
-  every undelivered message's apply time — and runs all shards to
+  every undelivered message's apply time — and runs the fleet to
   ``min(target, A + L)``; nothing anywhere can fire before ``A``, so
-  no message can apply at or before ``A + L`` that isn't already known.
-  An idle fleet (``A = inf``) jumps straight to the target.  Each
-  window is one message round trip per shard: the coordinator sends
-  the window end plus that shard's due inbound messages, the shard
-  injects, runs, and replies with its drained outbox and next-event
-  time — the children's reported times are the protocol's null
-  messages.
+  no message can apply at or before ``A + L`` that isn't already
+  known.  An idle fleet (``A = inf``) jumps straight to the target,
+  and a fleet with *no cut links* (``shards=1``) runs the whole span
+  as one window.
+* **Overlapped control plane.**  Every piece of state the coordinator
+  needs for window ``k+1`` — each shard's next-event time, the minimum
+  apply time of its locally-held undelivered messages, and the
+  watermarks of what it wrote to its outbound rings — piggybacks on
+  window ``k``'s completion frame, so a window costs exactly one
+  batched send pass and one batched receive pass.  Shards with nothing
+  to do in a window (next event, due message and due ring records all
+  beyond ``t_end``) are *skipped* — no round trip; their clocks lag
+  safely behind (anything later delivered to them applies beyond their
+  stalled ``now``) and the terminal window of ``run_to`` re-syncs
+  every clock to the target.
+* **Transports.**  ``cfg.shard_transport`` picks the data plane.
+  ``"shm"`` (default): packets and credits travel as packed 64-byte
+  records through per-directed-pair shared-memory rings
+  (:mod:`repro.ib.wire`) and the pipes carry only control frames —
+  grants out, ``(peek, now, pending-min, watermarks)`` back; the
+  coordinator never touches a payload.  ``"pipe"``: the original
+  pickled-tuple batches ride the control frames themselves (the
+  differential oracle, and required for ``record_routes``).  Both
+  transports produce bit-identical runs: the floor sequence is equal
+  (the same undelivered-message set, viewed as coordinator-held
+  batches or as watermarks + shard-held pending) and the injection
+  order is equal (sorted by apply time, source shard, per-source
+  production index).
 * **Determinism.**  Per-destination inbound messages are sorted by
-  (apply time, source shard, batch index) before injection, and every
-  shard indexes the full ``spawn_rngs(seed, num_nodes)`` spawn by PID,
-  so a run is bit-deterministic for a given shard count.  Same-time
-  events separated by a shard boundary may interleave differently
-  than in the monolithic engine, so cross-engine agreement is
-  statistical, not bitwise (the differential suite pins the
+  (apply time, source shard, production index) before injection, and
+  every shard indexes the full ``spawn_rngs(seed, num_nodes)`` spawn
+  by PID, so a run is bit-deterministic for a given shard count.
+  Same-time events separated by a shard boundary may interleave
+  differently than in the monolithic engine, so cross-engine agreement
+  is statistical, not bitwise (the differential suite pins the
   tolerance); conservation invariants merge exactly.
 """
 
@@ -37,6 +58,7 @@ from __future__ import annotations
 
 import math
 import multiprocessing as mp
+import time as _time_mod
 import traceback
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
@@ -50,6 +72,7 @@ __all__ = [
     "run_sharded_probe",
     "merge_conservation",
     "merge_latency_parts",
+    "merge_window_profiles",
     "fabric_report_from_parts",
     "loss_rows_from_parts",
     "routing_pressure_from_parts",
@@ -57,6 +80,17 @@ __all__ = [
 
 #: Safety valve: a drain that needs this many windows is a protocol bug.
 _MAX_DRAIN_WINDOWS = 1_000_000
+
+#: Records per directed-pair ring (64 B each → 1 MiB).  Ungranted
+#: records become due — and are therefore granted — within about two
+#: lookahead windows of being written, so this is orders of magnitude
+#: above steady-state occupancy; overflow raises (protocol bug).
+_DEFAULT_RING_CAPACITY = 16 * 1024
+
+#: Seconds a coordinator waits on a shard's reply before declaring the
+#: fleet wedged (a worker killed by the OOM killer / SIGKILL sends no
+#: "err" frame and would otherwise hang ``recv`` forever).
+_DEFAULT_RECV_TIMEOUT_S = 600.0
 
 
 @dataclass(frozen=True)
@@ -73,6 +107,13 @@ class ShardSpec:
     pattern: Optional[str] = None
     hotspot_fraction: float = 0.5
     script: Tuple[tuple, ...] = ()
+    #: Data plane: "pipe" (pickled tuple batches in the control frames)
+    #: or "shm" (packed records in shared-memory rings).
+    transport: str = "pipe"
+    #: Shared-memory run token + this shard's ring neighbors (shm only).
+    ring_token: str = ""
+    out_dests: Tuple[int, ...] = ()
+    in_srcs: Tuple[int, ...] = ()
 
 
 def _pattern_for(pattern: str, num_nodes: int, hotspot_fraction: float):
@@ -86,10 +127,32 @@ def _pattern_for(pattern: str, num_nodes: int, hotspot_fraction: float):
 
 
 def _worker_main(conn, spec: ShardSpec) -> None:
-    """Shard process body: build, then serve barrier-window commands."""
+    """Shard process body: build, then serve barrier-window commands.
+
+    The loop keeps a window profile — ``compute_ns`` (engine time),
+    ``sync_wait_ns`` (blocked on the coordinator), ``transport_ns``
+    (ring drain + inject + reply staging) — attached to the summary as
+    ``window_profile``; the buckets partition the wall time between
+    the ``ready`` frame and ``collect`` up to command-dispatch noise.
+    """
+    rings = []
     try:
         from repro.ib.shardnet import build_shard
 
+        use_rings = spec.transport == "shm"
+        outbox = None
+        rings_in: Dict[int, object] = {}
+        if use_rings:
+            from repro.ib import wire
+
+            rings_out = wire.attach_outbound(
+                spec.ring_token, spec.shard_id, spec.out_dests
+            )
+            rings_in = wire.attach_inbound(
+                spec.ring_token, spec.shard_id, spec.in_srcs
+            )
+            rings = list(rings_out.values()) + list(rings_in.values())
+            outbox = wire.RingOutbox(rings_out)
         net = build_shard(
             spec.m,
             spec.n,
@@ -98,6 +161,7 @@ def _worker_main(conn, spec: ShardSpec) -> None:
             spec.seed,
             spec.shard_id,
             spec.shards,
+            outbox=outbox,
         )
         if spec.pattern is not None:
             net.attach_pattern(
@@ -108,17 +172,77 @@ def _worker_main(conn, spec: ShardSpec) -> None:
         if spec.script:
             net.apply_script(list(spec.script))
         engine = net.engine
+        perf = _time_mod.perf_counter_ns
+        compute_ns = 0
+        sync_wait_ns = 0
+        transport_ns = 0
+        windows = 0
+        #: Granted-but-not-yet-due inbound messages,
+        #: (apply_time, src_shard, production_index, kind, chan, payload)
+        #: — the shard-local mirror of the pipe transport's
+        #: coordinator-held pending list.
+        pending: List[tuple] = []
+        drained = {src: 0 for src in rings_in}
         conn.send(("ready", engine.peek_time()))
+        wall0 = perf()
         while True:
+            t0 = perf()
             msg = conn.recv()
+            sync_wait_ns += perf() - t0
             cmd = msg[0]
             if cmd == "run":
-                _, t_end, inbound = msg
-                if inbound:
-                    net.inject(inbound)
-                if t_end > engine.now:
+                _, t_end, grant = msg
+                t0 = perf()
+                if use_rings:
+                    if grant:
+                        for src, limit in grant.items():
+                            base = drained[src]
+                            records = rings_in[src].read_upto(limit)
+                            for j, rec in enumerate(records):
+                                pending.append(
+                                    (rec[0], src, base + j,
+                                     rec[1], rec[2], rec[3])
+                                )
+                            drained[src] = limit
+                    if pending:
+                        if t_end is None:
+                            due, pending = pending, []
+                        else:
+                            due = [it for it in pending if it[0] <= t_end]
+                            if due:
+                                pending = [
+                                    it for it in pending if it[0] > t_end
+                                ]
+                        if due:
+                            due.sort(key=lambda it: (it[0], it[1], it[2]))
+                            net.inject(
+                                [(t, k, c, p)
+                                 for t, _s, _i, k, c, p in due]
+                            )
+                elif grant:
+                    net.inject(grant)
+                transport_ns += perf() - t0
+                t0 = perf()
+                if t_end is None:
+                    engine.run()
+                elif t_end > engine.now:
                     engine.run(until=t_end)
-                conn.send(("win", net.outbox.drain(), engine.peek_time()))
+                compute_ns += perf() - t0
+                t0 = perf()
+                if use_rings:
+                    payload = outbox.drain_watermarks()
+                    pend_min = min(
+                        (it[0] for it in pending), default=math.inf
+                    )
+                else:
+                    payload = net.outbox.drain()
+                    pend_min = math.inf
+                conn.send(
+                    ("win", engine.peek_time(), engine.now, pend_min,
+                     payload)
+                )
+                transport_ns += perf() - t0
+                windows += 1
             elif cmd == "begin":
                 _, offered, warmup, measure = msg
                 net.begin_measurement(offered, warmup, measure)
@@ -132,7 +256,15 @@ def _worker_main(conn, spec: ShardSpec) -> None:
                 net.stop_generation()
                 conn.send(("ok", engine.peek_time()))
             elif cmd == "collect":
-                conn.send(("res", net.summary(include_links=msg[1])))
+                summary = net.summary(include_links=msg[1])
+                summary["window_profile"] = {
+                    "windows": windows,
+                    "compute_ns": compute_ns,
+                    "sync_wait_ns": sync_wait_ns,
+                    "transport_ns": transport_ns,
+                    "wall_ns": perf() - wall0,
+                }
+                conn.send(("res", summary))
             elif cmd == "exit":
                 conn.send(("bye",))
                 return
@@ -145,16 +277,23 @@ def _worker_main(conn, spec: ShardSpec) -> None:
             pass
         raise
     finally:
+        for ring in rings:
+            ring.close()
         conn.close()
 
 
 class ShardedRun:
     """Coordinator for one sharded simulation (context manager).
 
-    Owns the worker processes and the conservative clock; exposes the
-    same phases as a monolithic run — ``begin``/``generate``,
-    ``run_to``, ``stop_generation``, ``drain``, ``collect`` — with the
-    barrier-window protocol hidden inside :meth:`run_to`.
+    Owns the worker processes, the shared-memory rings and the
+    conservative clock; exposes the same phases as a monolithic run —
+    ``begin``/``generate``, ``run_to``, ``stop_generation``, ``drain``,
+    ``collect`` — with the barrier-window protocol hidden inside
+    :meth:`run_to`.
+
+    ``recv_timeout_s`` bounds every wait on a worker frame: a shard
+    killed without an ``"err"`` frame (OOM, SIGKILL) terminates the
+    fleet with a diagnostic instead of hanging the run forever.
     """
 
     def __init__(
@@ -168,6 +307,8 @@ class ShardedRun:
         pattern: Optional[str] = None,
         hotspot_fraction: float = 0.5,
         script: Tuple[tuple, ...] = (),
+        recv_timeout_s: Optional[float] = _DEFAULT_RECV_TIMEOUT_S,
+        ring_capacity: int = _DEFAULT_RING_CAPACITY,
     ):
         if cfg.flying_time_ns <= 0:
             raise ValueError(
@@ -178,56 +319,150 @@ class ShardedRun:
                 "the sharded engine takes a scheme name, not an instance "
                 "(each shard process builds its own)"
             )
+        from repro.topology.fattree import FatTree
+        from repro.topology.partition import partition_fattree
+
         self.shards = cfg.shards
         self.lookahead = cfg.flying_time_ns
+        # Route traces can't ride fixed-width records: fall back to the
+        # pickled-tuple transport for record_routes runs.
+        self.transport = "pipe" if cfg.record_routes else cfg.shard_transport
         self.now = 0.0
         self.windows = 0
+        self._recv_timeout = recv_timeout_s
         self._procs: List[mp.Process] = []
         self._conns: List = []
         self._peeks: List[float] = []
+        self._nows: List[float] = [0.0] * self.shards
+        #: Per-shard min apply time of its locally-held undelivered
+        #: messages (shm transport; the pipe transport reports inf and
+        #: the coordinator holds the messages itself in ``_pending``).
+        self._pend_min: List[float] = [math.inf] * self.shards
         #: undelivered messages per destination shard, each annotated
-        #: (apply_time, src_shard, batch_index, kind, chan, payload).
+        #: (apply_time, src_shard, batch_index, kind, chan, payload)
+        #: — pipe transport only.
         self._pending: List[List[tuple]] = [[] for _ in range(self.shards)]
+        self._rings: Dict[Tuple[int, int], object] = {}
         self._closed = False
-        ctx = mp.get_context()
-        for shard_id in range(self.shards):
-            parent, child = ctx.Pipe()
-            spec = ShardSpec(
-                m=m,
-                n=n,
-                scheme=scheme,
-                cfg=cfg,
-                seed=seed,
-                shard_id=shard_id,
-                shards=self.shards,
-                pattern=pattern,
-                hotspot_fraction=hotspot_fraction,
-                script=tuple(script),
+
+        # Neighbor graph from the partition's cut links (validates the
+        # topology/shard combination before any process is spawned).
+        partition = partition_fattree(FatTree(m, n), self.shards)
+        pairs = set()
+        for link in partition.cut_links:
+            a = partition.switch_shard[link.parent.switch]
+            b = partition.switch_shard[link.child.switch]
+            pairs.add((a, b))
+            pairs.add((b, a))
+        #: shards=1 ⇒ no cut links ⇒ the conservative constraint is
+        #: vacuous: run_to is a single window, drain a run-to-empty.
+        self._no_cuts = not pairs
+        self._out = {
+            s: tuple(sorted(d for (a, d) in pairs if a == s))
+            for s in range(self.shards)
+        }
+        self._in = {
+            s: tuple(sorted(a for (a, d) in pairs if d == s))
+            for s in range(self.shards)
+        }
+        #: Per directed pair: records ever written (from watermarks),
+        #: records granted to the consumer, and the min apply time of
+        #: the written-but-ungranted span (inf when empty).
+        self._written = {p: 0 for p in pairs}
+        self._granted = {p: 0 for p in pairs}
+        self._wm_min = {p: math.inf for p in pairs}
+
+        token = ""
+        if self.transport == "shm" and pairs:
+            from repro.ib import wire
+
+            token = wire.make_run_token()
+            self._rings = wire.create_rings(
+                token, sorted(pairs), ring_capacity
             )
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(child, spec),
-                name=f"repro-shard-{shard_id}",
-                daemon=True,
-            )
-            proc.start()
-            child.close()
-            self._procs.append(proc)
-            self._conns.append(parent)
         try:
-            self._peeks = [self._recv(i, "ready") for i in range(self.shards)]
+            ctx = mp.get_context()
+            for shard_id in range(self.shards):
+                parent, child = ctx.Pipe()
+                spec = ShardSpec(
+                    m=m,
+                    n=n,
+                    scheme=scheme,
+                    cfg=cfg,
+                    seed=seed,
+                    shard_id=shard_id,
+                    shards=self.shards,
+                    pattern=pattern,
+                    hotspot_fraction=hotspot_fraction,
+                    script=tuple(script),
+                    transport=self.transport,
+                    ring_token=token,
+                    out_dests=self._out[shard_id],
+                    in_srcs=self._in[shard_id],
+                )
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(child, spec),
+                    name=f"repro-shard-{shard_id}",
+                    daemon=True,
+                )
+                proc.start()
+                child.close()
+                self._procs.append(proc)
+                self._conns.append(parent)
+            self._peeks = [
+                _time(self._recv(i, "ready")) for i in range(self.shards)
+            ]
         except Exception:
             self.close()
             raise
 
     # ------------------------------------------------------------------
-    def _recv(self, shard: int, expect: str):
-        msg = self._conns[shard].recv()
-        if msg[0] == "err":
+    def _send(self, shard: int, msg: tuple) -> None:
+        """Send one command, tearing the fleet down if the shard's pipe
+        is already dead (a crashed worker fails the *send*, not just
+        the reply)."""
+        try:
+            self._conns[shard].send(msg)
+        except (BrokenPipeError, OSError) as exc:
+            code = self._procs[shard].exitcode
+            self._terminate()
             raise RuntimeError(
-                f"shard {shard} died:\n{msg[1]}"
+                f"shard {shard} is unreachable (exit code {code}): {exc}"
+            ) from None
+
+    def _recv_frame(self, shard: int):
+        """One worker frame, with the fleet torn down on any failure:
+        a remote ``("err", traceback)`` surfaces immediately whatever
+        frame was expected, a silent death raises with the exit code,
+        and an unresponsive shard trips ``recv_timeout_s``."""
+        conn = self._conns[shard]
+        if self._recv_timeout is not None and not conn.poll(
+            self._recv_timeout
+        ):
+            self._terminate()
+            raise RuntimeError(
+                f"shard {shard} sent no frame for {self._recv_timeout}s "
+                "— fleet terminated (worker wedged or killed?)"
             )
+        try:
+            msg = conn.recv()
+        except EOFError:
+            code = self._procs[shard].exitcode
+            self._terminate()
+            raise RuntimeError(
+                f"shard {shard} exited without a frame "
+                f"(exit code {code})"
+            ) from None
+        if msg[0] == "err":
+            self._terminate()
+            raise RuntimeError(f"shard {shard} died:\n{msg[1]}")
+        return msg
+
+    def _recv(self, shard: int, expect: str):
+        msg = self._recv_frame(shard)
         if msg[0] != expect:
+            self._terminate()
             raise RuntimeError(
                 f"shard {shard}: expected {expect!r}, got {msg[0]!r}"
             )
@@ -235,8 +470,8 @@ class ShardedRun:
 
     def _broadcast(self, msg: tuple) -> None:
         """Send one command to every shard; replies refresh the peeks."""
-        for conn in self._conns:
-            conn.send(msg)
+        for shard in range(self.shards):
+            self._send(shard, msg)
         for i in range(self.shards):
             self._peeks[i] = _time(self._recv(i, "ok"))
 
@@ -256,55 +491,126 @@ class ShardedRun:
 
     # ------------------------------------------------------------------
     def _floor(self) -> float:
-        """Earliest thing that can happen anywhere in the fleet."""
+        """Earliest thing that can happen anywhere in the fleet: the
+        min over shard next-event times and every undelivered
+        message's apply time — wherever that message currently lives
+        (coordinator batch, ring, or shard-local pending)."""
         floor = min(self._peeks)
+        for v in self._pend_min:
+            if v < floor:
+                floor = v
+        for v in self._wm_min.values():
+            if v < floor:
+                floor = v
         for batch in self._pending:
             for item in batch:
                 if item[0] < floor:
                     floor = item[0]
         return floor
 
-    def _window(self, t_end: float) -> None:
-        """Advance every shard to ``t_end`` (one barrier round trip)."""
-        due: List[List[tuple]] = []
-        for dest in range(self.shards):
-            batch = self._pending[dest]
-            now_due = [item for item in batch if item[0] <= t_end]
-            if now_due:
-                self._pending[dest] = [
-                    item for item in batch if item[0] > t_end
-                ]
-                now_due.sort(key=lambda it: (it[0], it[1], it[2]))
-                due.append(
-                    [(t, kind, chan, payload)
-                     for t, _src, _idx, kind, chan, payload in now_due]
-                )
+    def _window(self, t_end: Optional[float], final: bool = False) -> None:
+        """Advance the fleet one window (single batched send/recv pass).
+
+        Shards with nothing to do before ``t_end`` are skipped — their
+        stale peek/pending state remains exact because an unrun shard
+        neither fires nor receives anything.  ``final`` forces every
+        shard into the window so all clocks land on ``t_end``;
+        ``t_end=None`` is the run-to-empty grant (no-cut fleets only).
+        """
+        shm = self.transport == "shm"
+        run_all = final or t_end is None
+        active: List[int] = []
+        grants: List[object] = []
+        for d in range(self.shards):
+            if shm:
+                grant: Dict[int, int] = {}
+                due = False
+                for s in self._in[d]:
+                    pair = (s, d)
+                    written = self._written[pair]
+                    if written > self._granted[pair]:
+                        grant[s] = written
+                    if (
+                        t_end is not None
+                        and self._wm_min[pair] <= t_end
+                    ):
+                        due = True
+                if not (
+                    run_all
+                    or due
+                    or self._peeks[d] <= t_end
+                    or self._pend_min[d] <= t_end
+                ):
+                    continue
+                for s, limit in grant.items():
+                    self._granted[(s, d)] = limit
+                    self._wm_min[(s, d)] = math.inf
+                active.append(d)
+                grants.append(grant)
             else:
-                due.append([])
-        for dest, conn in enumerate(self._conns):
-            conn.send(("run", t_end, due[dest]))
-        for src in range(self.shards):
-            conn_msg = self._conns[src].recv()
-            if conn_msg[0] == "err":
-                raise RuntimeError(f"shard {src} died:\n{conn_msg[1]}")
-            _, batches, peek = conn_msg
+                batch = self._pending[d]
+                has_due = t_end is not None and any(
+                    item[0] <= t_end for item in batch
+                )
+                if not (run_all or has_due or self._peeks[d] <= t_end):
+                    continue
+                if has_due:
+                    now_due = [it for it in batch if it[0] <= t_end]
+                    self._pending[d] = [
+                        it for it in batch if it[0] > t_end
+                    ]
+                    now_due.sort(key=lambda it: (it[0], it[1], it[2]))
+                    grant = [
+                        (t, kind, chan, payload)
+                        for t, _src, _idx, kind, chan, payload in now_due
+                    ]
+                else:
+                    grant = []
+                active.append(d)
+                grants.append(grant)
+        for d, grant in zip(active, grants):
+            self._send(d, ("run", t_end, grant))
+        for src in active:
+            msg = self._recv_frame(src)
+            if msg[0] != "win":
+                self._terminate()
+                raise RuntimeError(
+                    f"shard {src}: expected 'win', got {msg[0]!r}"
+                )
+            _, peek, now_, pend_min, payload = msg
             self._peeks[src] = _time(peek)
-            for dest, msgs in batches.items():
-                pending = self._pending[dest]
-                for idx, (time, kind, chan, payload) in enumerate(msgs):
-                    pending.append((time, src, idx, kind, chan, payload))
-        self.now = t_end
+            self._nows[src] = now_
+            self._pend_min[src] = pend_min
+            if shm:
+                for dest, (count, apply_min) in payload.items():
+                    pair = (src, dest)
+                    self._written[pair] += count
+                    if apply_min < self._wm_min[pair]:
+                        self._wm_min[pair] = apply_min
+            else:
+                for dest, msgs in payload.items():
+                    pending = self._pending[dest]
+                    for idx, (t, kind, chan, pl) in enumerate(msgs):
+                        pending.append((t, src, idx, kind, chan, pl))
+        if t_end is None:
+            self.now = max(self._nows + [self.now])
+        else:
+            self.now = t_end
         self.windows += 1
 
     def run_to(self, target: float) -> None:
         """Conservatively advance the whole fleet to ``target``."""
+        if self._no_cuts:
+            if self.now < target:
+                self._window(target, final=True)
+            return
         while self.now < target:
             floor = self._floor()
             if math.isinf(floor):
                 t_end = target
             else:
                 t_end = min(target, floor + self.lookahead)
-            self._window(t_end)
+            self._window(t_end, final=t_end >= target)
 
     def drain(self) -> float:
         """Run until fleet-wide quiescence; returns the final time.
@@ -313,6 +619,9 @@ class ShardedRun:
         cross-shard message is undelivered — the state in which
         ``generated == delivered + lost + backlog`` holds exactly.
         """
+        if self._no_cuts:
+            self._window(None, final=True)
+            return self.now
         for _ in range(_MAX_DRAIN_WINDOWS):
             floor = self._floor()
             if math.isinf(floor):
@@ -325,9 +634,34 @@ class ShardedRun:
     # ------------------------------------------------------------------
     def collect(self, include_links: bool = False) -> List[dict]:
         """Fetch every shard's summary (see ``ShardNet.summary``)."""
-        for conn in self._conns:
-            conn.send(("collect", include_links))
+        for shard in range(self.shards):
+            self._send(shard, ("collect", include_links))
         return [self._recv(i, "res") for i in range(self.shards)]
+
+    def _close_rings(self) -> None:
+        for ring in self._rings.values():
+            try:
+                ring.close()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+        self._rings = {}
+
+    def _terminate(self) -> None:
+        """Tear the fleet down hard (protocol failure path)."""
+        if self._closed:
+            return
+        self._closed = True
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            proc.join(timeout=5)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already gone
+                pass
+        self._close_rings()
 
     def close(self) -> None:
         if self._closed:
@@ -345,6 +679,7 @@ class ShardedRun:
                 proc.join(timeout=5)
         for conn in self._conns:
             conn.close()
+        self._close_rings()
 
     def __enter__(self) -> "ShardedRun":
         return self
@@ -413,6 +748,20 @@ def merge_conservation(parts: List[dict]) -> dict:
     }
 
 
+def merge_window_profiles(parts: List[dict], windows: int) -> dict:
+    """Fleet totals of the per-shard window profiles (plus the raw
+    per-shard breakdowns, busiest story intact)."""
+    per_shard = [p["window_profile"] for p in parts]
+    return {
+        "windows": windows,
+        "compute_ns": sum(p["compute_ns"] for p in per_shard),
+        "sync_wait_ns": sum(p["sync_wait_ns"] for p in per_shard),
+        "transport_ns": sum(p["transport_ns"] for p in per_shard),
+        "wall_ns": sum(p["wall_ns"] for p in per_shard),
+        "per_shard": per_shard,
+    }
+
+
 def run_sharded_point(
     m: int,
     n: int,
@@ -435,7 +784,8 @@ def run_sharded_point(
     ``delivered`` / ``lost``) and ``shards``.  With ``drain=True``
     generation stops at the measurement end and the fleet runs to
     quiescence first, making ``generated == delivered + lost +
-    backlog`` exact.
+    backlog`` exact.  With ``cfg.profile_windows`` the row carries
+    ``window_profile`` (fleet totals + per-shard breakdown).
     """
     with ShardedRun(
         m,
@@ -454,11 +804,17 @@ def run_sharded_point(
             run.drain()
         parts = run.collect()
         windows = run.windows
-    return _merge_point(parts, offered, measure_ns, windows)
+    return _merge_point(
+        parts, offered, measure_ns, windows, profile=cfg.profile_windows
+    )
 
 
 def _merge_point(
-    parts: List[dict], offered: float, measure_ns: float, windows: int
+    parts: List[dict],
+    offered: float,
+    measure_ns: float,
+    windows: int,
+    profile: bool = False,
 ) -> dict:
     num_nodes = sum(len(p["pids"]) for p in parts)
     net_latency = merge_latency_parts([p["net_latency"] for p in parts])
@@ -492,6 +848,8 @@ def _merge_point(
         "windows": windows,
     }
     row.update(merge_conservation(parts))
+    if profile:
+        row["window_profile"] = merge_window_profiles(parts, windows)
     return row
 
 
@@ -529,7 +887,9 @@ def run_sharded_probe(
         parts = run.collect(include_links=True)
         elapsed = run.now
         windows = run.windows
-    row = _merge_point(parts, offered, measure_ns, windows)
+    row = _merge_point(
+        parts, offered, measure_ns, windows, profile=cfg.profile_windows
+    )
     ft = FatTree(m, n)
     report = fabric_report_from_parts(ft, parts, elapsed)
     pressure = routing_pressure_from_parts(ft, cfg, parts, elapsed)

@@ -341,6 +341,15 @@ class WheelEngine:
                 empty = 0
                 continue
             else:
+                # Queue exhausted: park the cursor at the current
+                # time's slot rather than wherever the empty scan
+                # wandered.  The run is empty and no entries exist, so
+                # this is free — whereas an overshot cursor sends every
+                # later insert below it through the merge-and-resort
+                # path (e.g. a peek of an idle engine at t=0 would
+                # leave the cursor a full rotation ahead, making the
+                # first 16 µs of scheduling quadratic).
+                self._cur = int(self.now) >> _G
                 return False
             if until is not None and (cur << _G) > until:
                 self._cur = cur

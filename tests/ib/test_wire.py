@@ -1,0 +1,201 @@
+"""Unit + property tests for the packed cross-shard wire format.
+
+The codec's contract (DESIGN.md §14): ``encode → decode`` of any
+packet or credit within the documented field bounds reproduces exactly
+the quadruple the tuple transport would have carried, with the packet
+payload bit-equal to :func:`repro.ib.proxy.pack_packet`'s 12-tuple.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ib.packet import Packet
+from repro.ib.proxy import MSG_CREDIT, MSG_PKT, pack_packet
+from repro.ib.wire import (
+    MAX_FIELD_U32,
+    MAX_MESSAGE_ID,
+    RECORD_SIZE,
+    RingOutbox,
+    ShmRing,
+    decode_record,
+    encode_credit_into,
+    encode_packet_into,
+    packet_payload_from_packet,
+    ring_name,
+)
+
+u32 = st.integers(min_value=0, max_value=MAX_FIELD_U32)
+u8 = st.integers(min_value=0, max_value=255)
+i64 = st.integers(min_value=-(2**63), max_value=MAX_MESSAGE_ID)
+finite = st.floats(allow_nan=False, allow_infinity=False)
+
+
+def _packet(slid, dlid, src_pid, dst_pid, size_bytes, vl, t_created,
+            t_injected, hops, message_id, tail) -> Packet:
+    pkt = Packet(slid, dlid, src_pid, dst_pid, size_bytes, vl, t_created,
+                 message_id=message_id, is_message_tail=tail)
+    pkt.t_injected = t_injected
+    pkt.hops = hops
+    return pkt
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    apply_time=finite,
+    chan=u32,
+    slid=u32,
+    dlid=u32,
+    src_pid=u32,
+    dst_pid=u32,
+    size_bytes=u32,
+    vl=u8,
+    t_created=finite,
+    t_injected=finite,
+    hops=u32,
+    message_id=i64,
+    tail=st.booleans(),
+)
+def test_packet_record_round_trip(apply_time, chan, slid, dlid, src_pid,
+                                  dst_pid, size_bytes, vl, t_created,
+                                  t_injected, hops, message_id, tail):
+    pkt = _packet(slid, dlid, src_pid, dst_pid, size_bytes, vl, t_created,
+                  t_injected, hops, message_id, tail)
+    buf = bytearray(RECORD_SIZE)
+    encode_packet_into(buf, 0, apply_time, chan, pkt)
+    got = decode_record(buf, 0)
+    assert got == (apply_time, MSG_PKT, chan, packet_payload_from_packet(pkt))
+    # Bit-exact against the tuple transport's wire form (route is None
+    # by construction — records cannot carry traces).
+    assert got[3] == pack_packet(pkt)
+
+
+@settings(max_examples=200, deadline=None)
+@given(apply_time=finite, chan=u32, vl=u8)
+def test_credit_record_round_trip(apply_time, chan, vl):
+    buf = bytearray(RECORD_SIZE)
+    encode_credit_into(buf, 0, apply_time, chan, vl)
+    assert decode_record(buf, 0) == (apply_time, MSG_CREDIT, chan, vl)
+
+
+def test_packet_with_route_trace_rejected():
+    pkt = _packet(1, 2, 0, 3, 256, 0, 10.0, 12.0, 1, 7, True)
+    pkt.route = ["SW<0, 1>"]
+    with pytest.raises(ValueError, match="route traces"):
+        encode_packet_into(bytearray(RECORD_SIZE), 0, 20.0, 0, pkt)
+
+
+def test_uninjected_packet_sentinel_survives():
+    """t_injected = -1.0 (not yet injected) is a legal f64 payload."""
+    pkt = _packet(1, 2, 0, 3, 256, 0, 10.0, -1.0, 0, 7, False)
+    buf = bytearray(RECORD_SIZE)
+    encode_packet_into(buf, 0, 30.0, 5, pkt)
+    assert decode_record(buf, 0)[3] == pack_packet(pkt)
+
+
+# ----------------------------------------------------------------------
+# Shared-memory rings
+# ----------------------------------------------------------------------
+@pytest.fixture
+def ring():
+    r = ShmRing.create(ring_name("test" + str(id(object())), 0, 1), 8)
+    yield r
+    r.close()
+
+
+def test_ring_push_read_order_and_accounting(ring):
+    pkt = _packet(1, 2, 0, 3, 256, 0, 10.0, 12.0, 1, 7, True)
+    ring.push_packet(100.0, 4, pkt)
+    ring.push_credit(101.0, 5, 2)
+    ring.push_packet(102.0, 4, pkt)
+    assert ring.tail == 3 and ring.head == 0
+    got = ring.read_upto(2)
+    assert [g[0] for g in got] == [100.0, 101.0]
+    assert got[0] == (100.0, MSG_PKT, 4, pack_packet(pkt))
+    assert got[1] == (101.0, MSG_CREDIT, 5, 2)
+    assert ring.head == 2
+    # The third record stays until a later grant covers it.
+    assert ring.read_upto(2) == []
+    assert ring.read_upto(3) == [(102.0, MSG_PKT, 4, pack_packet(pkt))]
+    assert ring.head == ring.tail == 3
+
+
+def test_ring_wraps_past_capacity(ring):
+    for i in range(20):  # capacity is 8: wraps twice
+        ring.push_credit(float(i), 0, i % 4)
+        assert ring.read_upto(i + 1) == [(float(i), MSG_CREDIT, 0, i % 4)]
+
+
+def test_ring_overflow_raises(ring):
+    for i in range(8):
+        ring.push_credit(float(i), 0, 0)
+    with pytest.raises(RuntimeError, match="overflow"):
+        ring.push_credit(8.0, 0, 0)
+
+
+def test_ring_backwards_grant_raises(ring):
+    ring.push_credit(1.0, 0, 0)
+    ring.read_upto(1)
+    with pytest.raises(RuntimeError, match="backwards"):
+        ring.read_upto(0)
+
+
+def test_ring_attach_sees_creator_records():
+    name = ring_name("attach" + str(id(object())), 1, 0)
+    creator = ShmRing.create(name, 4)
+    try:
+        creator.push_credit(7.0, 3, 1)
+        reader = ShmRing.attach(name)
+        assert reader.capacity == 4
+        assert reader.read_upto(1) == [(7.0, MSG_CREDIT, 3, 1)]
+        assert creator.head == 1  # shared header
+        reader.close()
+    finally:
+        creator.close()
+
+
+def test_ring_outbox_watermarks():
+    a = ShmRing.create(ring_name("wm" + str(id(object())), 0, 1), 8)
+    b = ShmRing.create(ring_name("wm" + str(id(object())), 0, 2), 8)
+    try:
+        box = RingOutbox({1: a, 2: b})
+        pkt = _packet(1, 2, 0, 3, 256, 0, 10.0, 12.0, 1, 7, False)
+        box.send_packet(1, 50.0, 0, pkt)
+        box.send_credit(1, 40.0, 1, 0)
+        box.send_credit(2, 60.0, 2, 0)
+        assert box.pending == 3
+        wm = box.drain_watermarks()
+        assert wm == {1: (2, 40.0), 2: (1, 60.0)}
+        assert box.pending == 0
+        assert box.drain_watermarks() == {}  # reset after drain
+        box.send_credit(2, 90.0, 2, 1)
+        assert box.drain_watermarks() == {2: (1, 90.0)}
+        assert math.isinf(box._min[2])
+    finally:
+        a.close()
+        b.close()
+
+
+def test_ring_name_deterministic():
+    assert ring_name("tok", 0, 3) == ring_name("tok", 0, 3)
+    assert ring_name("tok", 0, 3) != ring_name("tok", 3, 0)
+
+
+def test_ring_single_read_spans_the_wrap_point():
+    """One read_upto whose range crosses the end of the record area
+    must stitch the two contiguous segments back in count order."""
+    name = ring_name("wrap" + str(id(object())), 0, 1)
+    ring = ShmRing.create(name, 8)
+    try:
+        for i in range(6):
+            ring.push_credit(float(i), 0, 0)
+        assert len(ring.read_upto(6)) == 6
+        for i in range(6, 12):  # records 6..11: slots 6,7 then 0..3
+            ring.push_credit(float(i), 1, 1)
+        got = ring.read_upto(12)
+        assert got == [(float(i), MSG_CREDIT, 1, 1) for i in range(6, 12)]
+        assert ring.head == ring.tail == 12
+    finally:
+        ring.close()

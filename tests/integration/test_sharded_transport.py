@@ -1,0 +1,155 @@
+"""Differential validation: shm-ring transport vs the pipe-tuple oracle.
+
+Both transports drive the same conservative window protocol and the
+same sorted-inbound-replay determinism rule, so a sharded run must be
+*bit-identical* across them — identical floor sequence (the same
+undelivered-message set, viewed as coordinator-held batches or as ring
+watermarks plus shard-held pending) and identical injection order
+(apply time, source shard, per-source production index).  These tests
+pin that, the window profiler's accounting, and the coordinator's
+failure handling (DESIGN.md §14).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.failover import run_failover
+from repro.ib.config import SimConfig
+from repro.sim.sharded import ShardedRun, run_sharded_point
+
+
+def _cfg(transport: str, shards: int = 2, **kw) -> SimConfig:
+    return SimConfig(
+        engine="sharded", shards=shards, shard_transport=transport, **kw
+    )
+
+
+def _collect_parts(cfg: SimConfig, m: int, n: int) -> list:
+    """Full per-shard summaries for one drained run (latency sample
+    lists included — a record-for-record fingerprint of the fleet)."""
+    with ShardedRun(m, n, "mlid", cfg, seed=4, pattern="uniform") as run:
+        run.begin(0.4, 3_000.0, 20_000.0)
+        run.run_to(23_000.0)
+        run.stop_generation()
+        run.drain()
+        parts = run.collect()
+        windows = run.windows
+    for part in parts:
+        part.pop("window_profile")  # wall-clock, not simulation state
+    return [windows, parts]
+
+
+def test_transports_record_for_record_identical():
+    """Every per-shard counter, latency sample and window count agrees
+    exactly between the two transports on FT(8,3)."""
+    pipe = _collect_parts(_cfg("pipe"), 8, 3)
+    shm = _collect_parts(_cfg("shm"), 8, 3)
+    assert pipe == shm
+
+
+def test_transports_identical_rows_with_mid_run_failure():
+    """FT(8,3) with a mid-run link failure + recovery: loss accounting
+    and the control-plane timeline are bit-identical across transports."""
+    kw = dict(load=0.3, seed=2)
+    pipe = run_failover(8, 3, "mlid", cfg=_cfg("pipe"), **kw)
+    shm = run_failover(8, 3, "mlid", cfg=_cfg("shm"), **kw)
+    for key in ("generated", "delivered", "packets_lost", "backlog",
+                "time_to_detect", "time_to_repair", "entries_changed",
+                "flows_rerouted", "path_inflation"):
+        assert pipe[key] == shm[key], key
+    assert shm["entries_changed"] > 0  # the repair actually rerouted
+    assert shm["generated"] > 0
+    assert (
+        shm["generated"]
+        == shm["delivered"] + shm["packets_lost"] + shm["backlog"]
+    )
+
+
+def test_record_routes_falls_back_to_pipe_transport():
+    """Route traces can't ride fixed-width records: a record_routes run
+    silently uses the tuple transport (and still completes)."""
+    cfg = _cfg("shm", record_routes=True)
+    with ShardedRun(8, 2, "mlid", cfg, seed=1, pattern="uniform") as run:
+        assert run.transport == "pipe"
+        run.begin(0.2, 1_000.0, 5_000.0)
+        run.run_to(6_000.0)
+        parts = run.collect()
+    assert sum(p["delivered"] for p in parts) > 0
+
+
+def test_window_profile_sums_to_wall_time():
+    """Per shard, compute + sync-wait + transport covers the worker's
+    wall clock between ready and collect (dispatch noise < 10%)."""
+    cfg = _cfg("shm", profile_windows=True)
+    row = run_sharded_point(
+        8, 2, "mlid", "uniform", 0.4, cfg=cfg,
+        warmup_ns=3_000, measure_ns=20_000, seed=1, drain=True,
+    )
+    profile = row["window_profile"]
+    assert profile["windows"] == row["windows"] > 0
+    assert len(profile["per_shard"]) == 2
+    for shard in profile["per_shard"]:
+        total = (
+            shard["compute_ns"]
+            + shard["sync_wait_ns"]
+            + shard["transport_ns"]
+        )
+        assert 0 < shard["windows"] <= row["windows"]
+        assert total / shard["wall_ns"] == pytest.approx(1.0, abs=0.1)
+    # The profile is observational: the simulation is unchanged.
+    bare = run_sharded_point(
+        8, 2, "mlid", "uniform", 0.4,
+        cfg=dataclasses.replace(cfg, profile_windows=False),
+        warmup_ns=3_000, measure_ns=20_000, seed=1, drain=True,
+    )
+    row.pop("window_profile")
+    assert row == bare
+
+
+# ----------------------------------------------------------------------
+# Coordinator robustness
+# ----------------------------------------------------------------------
+def test_err_frame_surfaces_while_expecting_other_frame():
+    """A worker traceback must surface immediately even when the
+    coordinator is awaiting an 'ok'/'win' frame, and the fleet must be
+    torn down rather than left desynchronized."""
+    run = ShardedRun(4, 2, "mlid", _cfg("shm"), seed=1)
+    try:
+        run._conns[0].send(("no-such-command",))
+        with pytest.raises(RuntimeError, match="unknown coordinator command"):
+            run._recv(0, "ok")
+        assert run._closed
+        assert all(not p.is_alive() for p in run._procs)
+    finally:
+        run.close()
+
+
+def test_silently_dead_shard_reports_exit_code():
+    run = ShardedRun(4, 2, "mlid", _cfg("pipe"), seed=1, pattern="uniform")
+    try:
+        run.generate(0.2)
+        run._procs[1].terminate()
+        run._procs[1].join(timeout=10)
+        # Depending on pipe buffering the death shows up either at the
+        # send ("unreachable") or at the reply ("exited without a
+        # frame") — both must carry the worker's exit code.
+        with pytest.raises(RuntimeError, match=r"shard 1 .*exit code"):
+            run.run_to(10_000.0)
+        assert run._closed
+    finally:
+        run.close()
+
+
+def test_unresponsive_shard_trips_recv_timeout():
+    run = ShardedRun(
+        4, 2, "mlid", _cfg("shm"), seed=1, recv_timeout_s=0.2
+    )
+    try:
+        # No command was sent, so no frame will ever arrive.
+        with pytest.raises(RuntimeError, match="no frame for 0.2s"):
+            run._recv_frame(0)
+        assert run._closed
+        assert all(not p.is_alive() for p in run._procs)
+    finally:
+        run.close()

@@ -46,6 +46,20 @@ def test_outbox_batches_per_destination_in_order():
     assert box.drain() == {}
 
 
+def test_outbox_typed_api_matches_raw_send():
+    """send_packet/send_credit (the producer API shared with
+    RingOutbox) stage exactly what the raw tuple send would."""
+    pkt = Packet(3, 17, 0, 5, 256, 1, 123.5, message_id=42,
+                 is_message_tail=False)
+    pkt.t_injected = 130.0
+    box = Outbox()
+    box.send_packet(1, 150.5, 7, pkt)
+    box.send_credit(0, 160.0, 2, 1)
+    batches = box.drain()
+    assert batches[1] == [(150.5, MSG_PKT, 7, pack_packet(pkt))]
+    assert batches[0] == [(160.0, MSG_CREDIT, 2, 1)]
+
+
 def test_merge_latency_parts_matches_single_stream():
     from repro.sim.stats import LatencyStats
 

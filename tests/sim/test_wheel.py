@@ -246,3 +246,30 @@ def test_cancelled_pooled_event_reaped_to_pool():
     assert fired == []
     assert eng.events_processed == 0
     assert ev.pool == [ev]
+
+
+def test_exhausted_advance_parks_cursor_at_now():
+    """Peeking (or running dry) an idle engine must not strand the
+    cursor a rotation ahead of ``now`` — an overshot cursor sends
+    every later insert below it through the merge-and-resort current-
+    run path, making the first level-0 rotation of scheduling
+    quadratic (the sharded worker peeks its empty engine for the
+    ready frame before generation ever starts)."""
+    eng = WheelEngine()
+    assert eng.peek_time() is None
+    assert eng._cur == int(eng.now) >> _G  # parked, not slot _SPAN0
+    # Inserts after the empty peek take the plain bucket path, not the
+    # current-run merge (which would grow _curlist before any run()).
+    eng.schedule(5.0, lambda: None)
+    assert eng._curlist == []
+    # Same after running an engine dry mid-simulation.
+    eng.run()
+    assert eng.events_processed == 1
+    assert eng._cur == int(eng.now) >> _G
+    eng.schedule(eng.now + 1.0, lambda: None)
+    assert eng._curlist == []
+    # Order across the parked cursor stays exact.
+    fired = []
+    eng.schedule(eng.now + 0.5, lambda: fired.append("early"))
+    eng.run()
+    assert fired == ["early"]
