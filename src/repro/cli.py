@@ -33,6 +33,10 @@ Subcommands
     Run the route-query service: a TCP server answering DLID/path/
     flow/load queries from atomic route snapshots, optionally while a
     link-flap storm repairs the tables underneath (see DESIGN.md §13).
+``flow-cache ACTION [KEY] [--dir D]``
+    Inspect the on-disk compiled-flow-model cache: ``list`` the cached
+    models, ``info`` one key's metadata (loud on a code-version
+    mismatch), or ``clear`` the store.
 ``list``
     List the available experiments, schemes and patterns.
 """
@@ -173,6 +177,8 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         mode=args.mode,
         knee_threshold=args.knee_threshold,
+        fold=args.fold,
+        warm_start=args.warm_start,
     )
     print(render_figure_result(result))
     if args.csv:
@@ -202,6 +208,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         mode=args.mode,
         knee_threshold=args.knee_threshold,
+        fold=args.fold,
+        warm_start=args.warm_start,
     )
     rows = [p.as_row() for p in points]
     print(
@@ -218,6 +226,53 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         with open(args.csv, "w", encoding="utf-8") as fh:
             fh.write(to_csv(rows))
         print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_flow_cache(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments import modelstore
+
+    store = args.dir if args.dir else None
+    root = args.dir or modelstore.default_cache_dir()
+    if args.action == "clear":
+        removed = modelstore.clear_models(store)
+        print(f"removed {removed} cached flow model(s) from {root}")
+        return 0
+    if args.action == "info":
+        if not args.key:
+            raise SystemExit(
+                "flow-cache info needs a model key; "
+                "see `repro-ibft flow-cache list`"
+            )
+        try:
+            meta = modelstore.model_info(args.key, store)
+        except (KeyError, modelstore.FlowCacheVersionError) as exc:
+            raise SystemExit(str(exc.args[0]) if exc.args else str(exc))
+        print(json.dumps(meta, indent=2, sort_keys=True))
+        return 0
+    models = modelstore.list_models(store)
+    if not models:
+        print(f"no cached flow models under {root}")
+        return 0
+    rows = [
+        {
+            "key": entry["key"],
+            "size_mb": round(entry["size_bytes"] / 1e6, 2),
+            "nodes": entry["scalars"].get("num_nodes", "?"),
+            "version": entry["version"],
+            "status": "STALE" if entry["stale"] else "ok",
+        }
+        for entry in models
+    ]
+    print(render_table(rows, title=f"flow-model cache: {root}"))
+    if any(entry["stale"] for entry in models):
+        print(
+            "stale entries were compiled by a different code version; "
+            "they will be rebuilt on next use "
+            "(`repro-ibft flow-cache clear` drops them now)"
+        )
     return 0
 
 
@@ -590,6 +645,25 @@ def _add_mode_args(p: argparse.ArgumentParser) -> None:
             f"falls back to the packet engine (default {DEFAULT_KNEE_THRESHOLD})"
         ),
     )
+    p.add_argument(
+        "--no-fold",
+        dest="fold",
+        action="store_false",
+        help=(
+            "compile the unfolded flow model (one class per flow) instead "
+            "of the exact symmetry-folded quotient; flow/hybrid modes only"
+        ),
+    )
+    p.add_argument(
+        "--cold-start",
+        dest="warm_start",
+        action="store_false",
+        help=(
+            "solve every flow point from a cold fixed-point start instead "
+            "of warm-starting along the load grid; lets --jobs solve the "
+            "flow points concurrently"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -794,6 +868,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall seconds between storm chunks (0 = run flat out)",
     )
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "flow-cache",
+        help="inspect the on-disk compiled-flow-model cache",
+    )
+    p.add_argument(
+        "action",
+        choices=["list", "info", "clear"],
+        help="list cached models, show one model's metadata, or clear",
+    )
+    p.add_argument(
+        "key",
+        nargs="?",
+        help="model key for `info` (as printed by `list`)",
+    )
+    p.add_argument(
+        "--dir",
+        default=None,
+        help=(
+            "cache directory (default: $REPRO_FLOW_CACHE_DIR or "
+            "~/.cache/repro-ibft/flow-models)"
+        ),
+    )
+    p.set_defaults(func=_cmd_flow_cache)
 
     p = sub.add_parser("list", help="list experiments, schemes, patterns")
     p.set_defaults(func=_cmd_list)

@@ -64,7 +64,8 @@ def max_lid(m: int, n: int, *, strict_iba: bool = True) -> int:
     top = groups.num_nodes(m, n) * (1 << lmc)
     if strict_iba and top > IBA_MAX_LID:
         raise ValueError(
-            f"FT({m}, {n}) needs LIDs up to {top} > unicast ceiling {IBA_MAX_LID}"
+            f"FT({m}, {n}) needs LIDs up to {top} > unicast ceiling "
+            f"{IBA_MAX_LID}; pass strict_iba=False to model it anyway"
         )
     return top
 

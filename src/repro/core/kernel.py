@@ -545,6 +545,43 @@ class RouteKernel:
         )
         return loads.reshape(self.num_switches, self.m)
 
+    def accumulate_class_link_loads(
+        self,
+        leaf_rows: np.ndarray,
+        dlids: np.ndarray,
+        weights: np.ndarray,
+    ) -> np.ndarray:
+        """Sparse sibling of :meth:`accumulate_link_loads`.
+
+        ``leaf_rows``/``dlids``/``weights`` are parallel 1-D arrays: the
+        k-th entry adds ``weights[k]`` to every channel on route
+        ``(leaf_rows[k], dlids[k])`` (DLIDs are 1-based, as everywhere).
+        Returns the ``(num_switches, m)`` load matrix.
+
+        This is the per-class oracle behind symmetry folding
+        (:mod:`repro.experiments.folding`): a folded model stores one
+        representative route per equivalence class, and this method
+        re-derives the representative's channel loads straight from the
+        route tensor without materializing the dense
+        ``(num_leaves, num_lids)`` weight matrix.
+        """
+        leaf_rows = np.asarray(leaf_rows, np.int64)
+        lix = np.asarray(dlids, np.int64) - 1
+        w = np.asarray(weights, np.float64)
+        if not leaf_rows.shape == lix.shape == w.shape or leaf_rows.ndim != 1:
+            raise ValueError("leaf_rows, dlids, weights must be parallel 1-D")
+        if lix.size and (lix.min() < 0 or lix.max() >= self.num_lids):
+            raise ValueError("DLID out of range (DLIDs are 1-based)")
+        sw = self.route_switch[leaf_rows, lix]  # (K, steps)
+        ports = self.route_port[leaf_rows, lix]
+        valid = sw >= 0
+        enc = sw[valid].astype(np.int64) * self.m + ports[valid]
+        wf = np.broadcast_to(w[:, None], sw.shape)[valid]
+        loads = np.bincount(
+            enc, weights=wf, minlength=self.num_switches * self.m
+        )
+        return loads.reshape(self.num_switches, self.m)
+
     # ------------------------------------------------------------------
     # Snapshot-view queries (the route-query service's primitives)
     # ------------------------------------------------------------------

@@ -9,7 +9,10 @@
   assembly (``jobs=N`` on ``run_sweep``/``run_figure``);
 * :mod:`repro.experiments.flowlevel` — vectorized flow-level evaluator
   (link-load fixed point over compiled routes) powering the "flow" and
-  "hybrid" sweep modes at FT(32, 3)+ scale;
+  "hybrid" sweep modes at FT(32, 3)+ scale, with exact symmetry
+  folding (:mod:`repro.experiments.folding`) and warm-started curves;
+* :mod:`repro.experiments.modelstore` — persistent memory-mapped cache
+  of compiled flow models (``repro-ibft flow-cache`` inspects it);
 * :mod:`repro.experiments.sweep` — full-figure orchestration (all
   schemes × VL counts), with saturation detection;
 * :mod:`repro.experiments.report` — renders results as aligned text
@@ -34,6 +37,7 @@ from repro.experiments.flowlevel import (
     FlowModel,
     build_flow_model,
     clear_flow_models,
+    evaluate_curve,
     evaluate_point,
     get_flow_model,
     knee_utilization,
@@ -66,6 +70,7 @@ __all__ = [
     "FlowModel",
     "build_flow_model",
     "clear_flow_models",
+    "evaluate_curve",
     "evaluate_point",
     "get_flow_model",
     "knee_utilization",

@@ -234,6 +234,21 @@ ABLATIONS: Dict[str, ExperimentConfig] = {
             "(benchmarks/test_scale_throughput.py)"
         ),
     ),
+    "a17_scale_flow64": ExperimentConfig(
+        id="a17_scale_flow64",
+        title="FT(64,2) fig-style sweep via the flow-level evaluator",
+        m=64,
+        n=2,
+        pattern="uniform",
+        vl_counts=(1,),
+        seeds=(1,),
+        quick_seeds=(1,),
+        notes=(
+            "2048 nodes on a two-level tree — the widest-radix "
+            "fabric the LMC budget admits; flow-level only "
+            "(benchmarks/test_scale_throughput.py)"
+        ),
+    ),
 }
 
 

@@ -33,6 +33,18 @@ point *analytically* instead, in three steps:
    damping until stable.  Below the knee every ``theta`` is 1 and the
    loop exits after a single iteration.
 
+**Symmetry folding** (the fast path, DESIGN.md §15): on a perfect
+FT(m, n) under uniform or centric demand, MLID/SLID routes commute
+with the fabric's automorphisms, so flow classes collapse into
+:mod:`~repro.experiments.folding` orbits and the S*m physical links
+into a handful of link *types*.  A folded :class:`FlowModel` is the
+same dataclass over that quotient — route codes index link types,
+``link_mult``/``engine_mult`` carry multiplicities, ``coef`` carries
+each orbit's total demand — and every evaluation routine below runs
+on it unchanged.  ``fold=False`` keeps the unfolded build as the
+oracle; ``tests/experiments/test_folding.py`` asserts bit-identical
+``flow_link_loads`` and tolerance-tight curves between the two.
+
 Latency is an M/D/1-style estimate anchored to
 :func:`repro.experiments.analytical.min_latency`: the class's unloaded
 latency (its hop count gives the gcp length alpha) plus a
@@ -53,13 +65,16 @@ the rest fall back to the packet engine.  See DESIGN.md §11.
 from __future__ import annotations
 
 import math
+import sys
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.kernel import _defining_class, fabric_arrays
 from repro.core.scheme import RoutingScheme, get_scheme
+from repro.experiments import folding
 from repro.experiments.analytical import ejection_efficiency
 from repro.ib.config import SimConfig
 from repro.topology.fattree import FatTree
@@ -71,11 +86,16 @@ __all__ = [
     "build_flow_model",
     "get_flow_model",
     "clear_flow_models",
+    "flow_model_cache_info",
     "evaluate_point",
+    "evaluate_curve",
     "knee_utilization",
     "select_backends",
     "flow_link_loads",
     "all_to_one_link_loads",
+    "publish_flow_model",
+    "attach_flow_model",
+    "unpublish_flow_model",
 ]
 
 #: Peak-utilization fraction above which hybrid mode distrusts the
@@ -148,6 +168,13 @@ class FlowModel:
 
     Everything offered-load- and :class:`SimConfig`-independent:
     evaluating a point is a handful of bincounts over ``flat_codes``.
+
+    A model is either *unfolded* (one row per (leaf, DLID) class,
+    ``flat_codes`` index physical ``switch * m + port`` channels) or
+    *folded* (one row per symmetry orbit, codes index link types, and
+    the ``*_mult`` arrays carry the quotient's multiplicities — see
+    :mod:`repro.experiments.folding`).  Every consumer below handles
+    both through the same arrays.
     """
 
     m: int
@@ -159,7 +186,8 @@ class FlowModel:
     num_switches: int
     num_leaves: int
     lids_per_node: int
-    #: (K,) class keys ``leaf * (num_lids + 1) + dlid``, sorted.
+    #: (K,) class keys ``leaf * (num_lids + 1) + dlid``, sorted.  For a
+    #: folded model: the key of each orbit's canonical representative.
     class_keys: np.ndarray
     #: (K,) (src, dst) pairs mapping to each class.
     cnt_all: np.ndarray
@@ -167,31 +195,67 @@ class FlowModel:
     cnt_hotdst: np.ndarray
     #: (K,) pairs with src == hot node (centric only).
     cnt_hotsrc: np.ndarray
-    #: (K,) demand per class per unit offered load (bytes/ns).
+    #: (K,) demand per class per unit offered load (bytes/ns).  For a
+    #: folded model: the orbit's *total* demand (per-class x orbit size).
     coef: np.ndarray
     #: (K,) switches on each class's route.
     hops: np.ndarray
-    #: (sum hops,) link codes ``switch * m + port``, class-contiguous.
+    #: (sum hops,) link codes, class-contiguous: ``switch * m + port``
+    #: unfolded, link-type ids folded.
     flat_codes: np.ndarray
     #: (K,) start offset of each class's codes in ``flat_codes``.
     offsets: np.ndarray
-    #: (S * m,) True where the link code attaches a node (ejection).
+    #: (num_links,) True where the link (type) ejects into a node.
     is_ejection: np.ndarray
-    #: (S * m,) link load per unit offered load at theta = 1.
+    #: (num_links,) *per-channel* load per unit offered load, theta=1.
     unit_link: np.ndarray
-    #: (S,) traffic routed per switch per unit offered load.
+    #: (num_engines,) *per-switch* routed bytes/ns per unit offered load.
     unit_engine: np.ndarray
+    #: whether this model is the folded quotient.
+    folded: bool = False
+    #: (K,) classes per orbit (folded; None when unfolded).
+    class_mult: Optional[np.ndarray] = None
+    #: (sum hops,) engine index per route code (switch id unfolded,
+    #: engine-type id folded).  Derived in ``__post_init__`` if absent.
+    engine_codes: Optional[np.ndarray] = None
+    #: link-resource count: S * m unfolded, #link types folded.
+    num_links: int = -1
+    #: engine-resource count: S unfolded, #engine types folded.
+    num_engines: int = -1
+    #: (num_links,) physical channels per link type (folded only).
+    link_mult: Optional[np.ndarray] = None
+    #: (num_engines,) switches per engine type (folded only).
+    engine_mult: Optional[np.ndarray] = None
+    #: (S * m,) link-type id of every physical channel (folded only) —
+    #: expands folded per-type loads back to physical links.
+    link_type_of_code: Optional[np.ndarray] = None
     #: per-SimConfig capacity cache (see ``_caps``).
     _caps_cache: Dict[tuple, tuple] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.engine_codes is None:
+            self.engine_codes = self.flat_codes // self.m
+        if self.num_links < 0:
+            self.num_links = self.num_switches * self.m
+        if self.num_engines < 0:
+            self.num_engines = self.num_switches
 
     @property
     def num_classes(self) -> int:
         return len(self.class_keys)
 
+    @property
+    def total_classes(self) -> int:
+        """Classes represented, counting each folded orbit's members."""
+        if self.class_mult is None:
+            return self.num_classes
+        return int(self.class_mult.sum())
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "folded, " if self.folded else ""
         return (
             f"FlowModel(FT({self.m}, {self.n}), {self.scheme}, "
-            f"{self.pattern}, {self.num_classes} classes)"
+            f"{self.pattern}, {kind}{self.num_classes} classes)"
         )
 
 
@@ -201,8 +265,19 @@ def build_flow_model(
     scheme: str,
     pattern: str = "uniform",
     hotspot_fraction: float = 0.5,
+    *,
+    fold: bool = True,
+    jobs: int = 1,
 ) -> FlowModel:
-    """Extract flow classes and trace their routes (the compile step)."""
+    """Extract flow classes and trace their routes (the compile step).
+
+    ``fold=True`` (default) builds the symmetry-folded quotient when
+    the scheme x pattern has a registered closed-form orbit
+    enumeration, and transparently falls back to the unfolded build
+    otherwise.  ``fold=False`` forces the unfolded oracle.  ``jobs``
+    parallelizes the unfolded route trace across worker processes
+    (bit-identical to serial — tracing is row-independent).
+    """
     if pattern not in SUPPORTED_PATTERNS:
         raise ValueError(
             f"flow-level evaluator supports patterns {SUPPORTED_PATTERNS}, "
@@ -211,6 +286,9 @@ def build_flow_model(
     sch = _scheme_for(m, n, scheme)
     ft = sch.ft
     arrays = fabric_arrays(ft)
+    frac = hotspot_fraction if pattern == "centric" else 0.0
+    if fold and folding.foldable(sch, pattern):
+        return _build_folded(sch, arrays, pattern, frac)
     total = ft.num_nodes
     key_mod = sch.num_lids + 1  # DLIDs are 1-based; key = leaf*mod + dlid
     dlid_rows = _guarded_dlid_rows(sch)
@@ -252,7 +330,6 @@ def build_flow_model(
             )
 
     # -- demand coefficients (bytes/ns per unit offered load) ----------
-    frac = hotspot_fraction if pattern == "centric" else 0.0
     coef = cnt_all * ((1.0 - frac) / (total - 1))
     if pattern == "centric":
         # Non-hot sources add mass `frac` on the hot destination; the
@@ -260,20 +337,11 @@ def build_flow_model(
         coef += frac * cnt_hotdst + (frac / (total - 1)) * cnt_hotsrc
 
     # -- streaming route trace (chunked over classes) ------------------
-    port_batch = _guarded_port_batch(sch)
-    max_hops = 2 * n - 1
     leaf_idx = class_keys // key_mod
     dlid = class_keys % key_mod
-    hops = np.empty(len(class_keys), dtype=np.int32)
-    code_chunks: List[np.ndarray] = []
-    for start in range(0, len(class_keys), _TRACE_CHUNK):
-        stop = min(start + _TRACE_CHUNK, len(class_keys))
-        codes = _trace_block(
-            arrays, port_batch, leaf_idx[start:stop], dlid[start:stop], max_hops
-        )
-        hops[start:stop] = (codes >= 0).sum(axis=1)
-        code_chunks.append(codes[codes >= 0].astype(np.int32))
-    flat_codes = np.concatenate(code_chunks)
+    hops, flat_codes = _trace_routes(
+        sch, arrays, leaf_idx, dlid, max_hops=2 * n - 1, jobs=jobs
+    )
     offsets = np.zeros(len(class_keys), dtype=np.int64)
     np.cumsum(hops[:-1], out=offsets[1:])
 
@@ -311,6 +379,102 @@ def build_flow_model(
     )
 
 
+def _build_folded(
+    sch: RoutingScheme, arrays, pattern: str, frac: float
+) -> FlowModel:
+    """Assemble the symmetry-folded quotient model (DESIGN.md §15).
+
+    One row per class orbit, traced through the orbit's canonical
+    representative; route codes index link *types*; ``coef`` is the
+    orbit's total demand so every bincount in the evaluator aggregates
+    whole orbits at once.
+    """
+    ft = sch.ft
+    m, n = ft.m, ft.n
+    total = ft.num_nodes
+    groups = folding.fold_class_groups(sch, pattern)
+    lt = folding.link_types(arrays, pattern)
+    et = folding.engine_types(arrays, pattern)
+
+    src_ids = np.array([ft.node_id(g.src) for g in groups], dtype=np.int64)
+    dlid = np.array([sch.dlid(g.src, g.dst) for g in groups], dtype=np.int64)
+    leaf_idx = arrays.attach_leaf[src_ids].astype(np.int64)
+    key_mod = sch.num_lids + 1
+    class_keys = leaf_idx * key_mod + dlid
+    order = np.argsort(class_keys)
+    if len(np.unique(class_keys)) != len(class_keys):  # pragma: no cover
+        raise RuntimeError("fold enumeration produced duplicate classes")
+    class_keys = class_keys[order]
+    leaf_idx = leaf_idx[order]
+    dlid = dlid[order]
+    groups = [groups[i] for i in order]
+
+    codes = _trace_block(
+        arrays, _guarded_port_batch(sch), leaf_idx, dlid, max_hops=2 * n - 1
+    )
+    hops = (codes >= 0).sum(axis=1).astype(np.int32)
+    real_codes = codes[codes >= 0]
+    flat_codes = lt.type_of_code[real_codes].astype(np.int32)
+    engine_codes = et.type_of_switch[real_codes // m].astype(np.int32)
+    offsets = np.zeros(len(class_keys), dtype=np.int64)
+    np.cumsum(hops[:-1], out=offsets[1:])
+
+    class_mult = np.array([g.n_classes for g in groups], dtype=np.float64)
+    cnt_all = np.array([g.cnt_all for g in groups], dtype=np.float64)
+    cnt_hotdst = np.array([g.cnt_hotdst for g in groups], dtype=np.float64)
+    cnt_hotsrc = np.array([g.cnt_hotsrc for g in groups], dtype=np.float64)
+
+    coef = cnt_all * ((1.0 - frac) / (total - 1))
+    if pattern == "centric":
+        coef += frac * cnt_hotdst + (frac / (total - 1)) * cnt_hotsrc
+    coef *= class_mult  # orbit total, so bincounts aggregate orbits
+
+    link_mult = lt.mult.astype(np.float64)
+    engine_mult = et.mult.astype(np.float64)
+    weights = np.repeat(coef, hops)
+    unit_link = (
+        np.bincount(flat_codes, weights=weights, minlength=lt.num_types)
+        / link_mult
+    )
+    unit_engine = (
+        np.bincount(engine_codes, weights=weights, minlength=et.num_types)
+        / engine_mult
+    )
+    return FlowModel(
+        m=m,
+        n=n,
+        scheme=sch.name,
+        pattern=pattern,
+        hotspot_fraction=frac,
+        num_nodes=total,
+        num_switches=ft.num_switches,
+        num_leaves=arrays.num_leaves,
+        lids_per_node=sch.lids_per_node,
+        class_keys=class_keys,
+        cnt_all=cnt_all,
+        cnt_hotdst=cnt_hotdst,
+        cnt_hotsrc=cnt_hotsrc,
+        coef=coef,
+        hops=hops,
+        flat_codes=flat_codes,
+        offsets=offsets,
+        is_ejection=lt.is_ejection,
+        unit_link=unit_link,
+        unit_engine=unit_engine,
+        folded=True,
+        class_mult=class_mult,
+        engine_codes=engine_codes,
+        num_links=lt.num_types,
+        num_engines=et.num_types,
+        link_mult=link_mult,
+        engine_mult=engine_mult,
+        link_type_of_code=lt.type_of_code,
+    )
+
+
+# -- route tracing -----------------------------------------------------
+
+
 def _trace_block(
     arrays, port_batch, leaf_idx: np.ndarray, dlid: np.ndarray, max_hops: int
 ) -> np.ndarray:
@@ -333,9 +497,153 @@ def _trace_block(
     )  # pragma: no cover - schemes are up*/down* by construction
 
 
+def _trace_routes(
+    sch: RoutingScheme,
+    arrays,
+    leaf_idx: np.ndarray,
+    dlid: np.ndarray,
+    max_hops: int,
+    jobs: int = 1,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Trace every (leaf, dlid) row; ``(hops, flat_codes)``.
+
+    Tracing is row-independent, so the ``jobs>1`` shared-memory
+    fan-out returns bit-identical arrays to the serial path.
+    """
+    if jobs and jobs > 1 and len(leaf_idx) > 1:
+        return _trace_routes_parallel(
+            sch.ft.m, sch.ft.n, sch.name, leaf_idx, dlid, max_hops, jobs
+        )
+    port_batch = _guarded_port_batch(sch)
+    hops = np.empty(len(leaf_idx), dtype=np.int32)
+    code_chunks: List[np.ndarray] = []
+    for start in range(0, len(leaf_idx), _TRACE_CHUNK):
+        stop = min(start + _TRACE_CHUNK, len(leaf_idx))
+        codes = _trace_block(
+            arrays, port_batch, leaf_idx[start:stop], dlid[start:stop], max_hops
+        )
+        hops[start:stop] = (codes >= 0).sum(axis=1)
+        code_chunks.append(codes[codes >= 0].astype(np.int32))
+    return hops, np.concatenate(code_chunks)
+
+
+def _shm_create(shape, dtype):
+    from multiprocessing import shared_memory
+
+    nbytes = int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
+    shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+    return shm, np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+
+
+def _shm_attach(name, shape, dtype):
+    import multiprocessing as mp
+    from multiprocessing import resource_tracker, shared_memory
+
+    shm = shared_memory.SharedMemory(name=name)
+    if mp.get_start_method() != "fork":  # pragma: no cover - linux forks
+        try:
+            # The creating process owns the segment; don't let this
+            # process's resource tracker unlink it on exit (same
+            # convention as repro.ib.wire.ShmRing.attach).
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+    return shm, np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+
+
+def _trace_shm_worker(payload) -> None:
+    (m, n, scheme, names, count, max_hops, start, stop) = payload
+    sch = _scheme_for(m, n, scheme)
+    arrays = fabric_arrays(sch.ft)
+    port_batch = _guarded_port_batch(sch)
+    segs = []
+    try:
+        shm, leaf_idx = _shm_attach(names["leaf"], (count,), np.int64)
+        segs.append(shm)
+        shm, dlid = _shm_attach(names["dlid"], (count,), np.int64)
+        segs.append(shm)
+        shm, codes = _shm_attach(names["codes"], (count, max_hops), np.int32)
+        segs.append(shm)
+        shm, hops = _shm_attach(names["hops"], (count,), np.int32)
+        segs.append(shm)
+        for s in range(start, stop, _TRACE_CHUNK):
+            e = min(s + _TRACE_CHUNK, stop)
+            block = _trace_block(
+                arrays, port_batch, leaf_idx[s:e], dlid[s:e], max_hops
+            )
+            codes[s:e] = block
+            hops[s:e] = (block >= 0).sum(axis=1)
+        del leaf_idx, dlid, codes, hops
+    finally:
+        for shm in segs:
+            shm.close()
+        clear_flow_models()  # workers must not accumulate models
+
+
+def _trace_routes_parallel(
+    m: int,
+    n: int,
+    scheme: str,
+    leaf_idx: np.ndarray,
+    dlid: np.ndarray,
+    max_hops: int,
+    jobs: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.experiments.parallel import _worker_init
+
+    count = len(leaf_idx)
+    segs = []
+    try:
+        leaf_shm, leaf_view = _shm_create((count,), np.int64)
+        segs.append(leaf_shm)
+        dlid_shm, dlid_view = _shm_create((count,), np.int64)
+        segs.append(dlid_shm)
+        codes_shm, codes_view = _shm_create((count, max_hops), np.int32)
+        segs.append(codes_shm)
+        hops_shm, hops_view = _shm_create((count,), np.int32)
+        segs.append(hops_shm)
+        leaf_view[...] = leaf_idx
+        dlid_view[...] = dlid
+        names = {
+            "leaf": leaf_shm.name,
+            "dlid": dlid_shm.name,
+            "codes": codes_shm.name,
+            "hops": hops_shm.name,
+        }
+        chunk = max(1, min(_TRACE_CHUNK, -(-count // (jobs * 2))))
+        tasks = [
+            (m, n, scheme, names, count, max_hops, s, min(s + chunk, count))
+            for s in range(0, count, chunk)
+        ]
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(tasks)),
+            initializer=_worker_init,
+            initargs=(list(sys.path),),
+        ) as pool:
+            list(pool.map(_trace_shm_worker, tasks))
+        hops = hops_view.copy()
+        flat_codes = codes_view[codes_view >= 0]  # row-major == serial order
+        del leaf_view, dlid_view, codes_view, hops_view
+        return hops, flat_codes
+    finally:
+        for shm in segs:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+
+
 # -- model cache -------------------------------------------------------
 
-_MODELS: Dict[tuple, FlowModel] = {}
+_MODELS: "OrderedDict[tuple, FlowModel]" = OrderedDict()
+
+#: In-process cache bound: a multi-scheme sweep touches 2-3 models; an
+#: FT(32, 3) *unfolded* model holds >2 GB of route codes, so holding
+#: every model of a long session would accumulate without bound.
+_MODEL_CACHE_CAP = 4
 
 
 def get_flow_model(
@@ -344,28 +652,68 @@ def get_flow_model(
     scheme: str,
     pattern: str = "uniform",
     hotspot_fraction: float = 0.5,
+    *,
+    fold: bool = True,
+    jobs: int = 1,
+    store=None,
 ) -> FlowModel:
-    """Per-process cached :func:`build_flow_model` (compile once)."""
+    """LRU-cached :func:`build_flow_model` (compile at most once).
+
+    Misses consult the on-disk model store
+    (:mod:`repro.experiments.modelstore`) before compiling, and spill
+    freshly compiled models back to it — a repeated FT(32, 3) sweep
+    skips the compile entirely.  ``store=False`` disables the disk
+    layer; a path overrides the default cache directory.
+    """
+    from repro.experiments import modelstore
+
     frac = hotspot_fraction if pattern == "centric" else 0.0
-    key = (m, n, scheme, pattern, frac)
+    key = (m, n, scheme, pattern, frac, bool(fold))
     model = _MODELS.get(key)
     if model is None:
-        model = _MODELS[key] = build_flow_model(
-            m, n, scheme, pattern, hotspot_fraction
+        model = modelstore.load_model(
+            m, n, scheme, pattern, frac, fold=bool(fold), store=store
         )
+        if model is None:
+            model = build_flow_model(
+                m, n, scheme, pattern, hotspot_fraction, fold=fold, jobs=jobs
+            )
+            modelstore.save_model(model, fold=bool(fold), store=store)
+        _MODELS[key] = model
+    else:
+        _MODELS.move_to_end(key)
+    while len(_MODELS) > _MODEL_CACHE_CAP:
+        _MODELS.popitem(last=False)
     return model
 
 
 def clear_flow_models() -> None:
-    """Drop all cached flow models (tests, memory pressure)."""
+    """Drop all cached flow models (tests, memory pressure, workers)."""
     _MODELS.clear()
+
+
+def flow_model_cache_info() -> dict:
+    """Size/cap/keys of this process's flow-model LRU (see the
+    combined :func:`repro.ib.artifacts.routing_cache_info`)."""
+    return {
+        "size": len(_MODELS),
+        "cap": _MODEL_CACHE_CAP,
+        "keys": list(_MODELS),
+    }
 
 
 # -- evaluation --------------------------------------------------------
 
 
 def _caps(model: FlowModel, cfg: SimConfig) -> tuple:
-    """(link caps, engine caps, peak unit utilization) for one config."""
+    """(link caps, engine caps, bincount denominators, peak unit
+    utilization) for one config.
+
+    Caps are *per-channel*; the denominators additionally fold in the
+    type multiplicities so a folded model's aggregated bincounts come
+    out as per-channel utilizations.  Unfolded models reuse the cap
+    arrays as denominators — byte-identical to the historical math.
+    """
     key = (
         cfg.packet_bytes,
         cfg.byte_time_ns,
@@ -378,23 +726,29 @@ def _caps(model: FlowModel, cfg: SimConfig) -> tuple:
     if cached is not None:
         return cached
     bandwidth = cfg.link_bandwidth
-    cap_link = np.full(model.num_switches * model.m, bandwidth)
+    cap_link = np.full(model.num_links, bandwidth)
     cap_link[model.is_ejection] = bandwidth * ejection_efficiency(cfg)
     engines = cfg.routing_engines_per_switch
     if engines == 0 or cfg.routing_time_ns == 0:
         # One engine per port/VL: never binding below link saturation.
-        cap_engine = np.full(model.num_switches, math.inf)
+        cap_engine = np.full(model.num_engines, math.inf)
     else:
         cap_engine = np.full(
-            model.num_switches,
+            model.num_engines,
             engines * cfg.packet_bytes / cfg.routing_time_ns,
         )
+    if model.link_mult is None:
+        denom_link = cap_link
+        denom_engine = cap_engine
+    else:
+        denom_link = cap_link * model.link_mult
+        denom_engine = cap_engine * model.engine_mult
     max_unit = 1.0 / bandwidth  # the injection link
     if model.unit_link.size:
         max_unit = max(max_unit, float((model.unit_link / cap_link).max()))
     if np.isfinite(cap_engine[0]) and model.unit_engine.size:
         max_unit = max(max_unit, float((model.unit_engine / cap_engine).max()))
-    out = (cap_link, cap_engine, max_unit)
+    out = (cap_link, cap_engine, denom_link, denom_engine, max_unit)
     model._caps_cache[key] = out
     return out
 
@@ -402,7 +756,7 @@ def _caps(model: FlowModel, cfg: SimConfig) -> tuple:
 def knee_utilization(model: FlowModel, cfg: SimConfig, offered: float) -> float:
     """Peak resource utilization at ``offered`` if every flow were
     fully accepted — the hybrid mode's distrust signal."""
-    _, _, max_unit = _caps(model, cfg)
+    max_unit = _caps(model, cfg)[-1]
     return offered * max_unit
 
 
@@ -427,44 +781,54 @@ def select_backends(
 
 
 def _fixed_point(
-    model: FlowModel, cfg: SimConfig, offered: float
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    model: FlowModel,
+    cfg: SimConfig,
+    offered: float,
+    theta0: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
     """Iterate per-class acceptance ratios to a stable load point.
 
-    Returns ``(theta, u_link, u_engine)``.  Below the knee the first
-    iteration already satisfies every capacity and the loop exits with
-    ``theta = 1`` everywhere.
+    Returns ``(theta, u_link, u_engine, iterations)``.  Below the knee
+    the first iteration already satisfies every capacity and the loop
+    exits with ``theta = 1`` everywhere.  ``theta0`` warm-starts the
+    iteration (clipped to the injection ceiling) — monotone load
+    sweeps hand each point the previous point's converged ratios.
     """
-    cap_link, cap_engine, _ = _caps(model, cfg)
+    _, _, denom_link, denom_engine, _ = _caps(model, cfg)
     # A source cannot inject faster than its link drains: cap every
     # class's acceptance at the injectable fraction (this term does not
     # scale with theta, so it is a ceiling, not a fixed-point resource).
     ceil = min(1.0, cfg.link_bandwidth / offered)
-    theta = np.full(model.num_classes, ceil)
-    engine_codes = model.flat_codes // model.m
+    if theta0 is None:
+        theta = np.full(model.num_classes, ceil)
+    else:
+        theta = np.minimum(np.asarray(theta0, dtype=np.float64), ceil)
+    engine_codes = model.engine_codes
     u_link = u_engine = None
     # The map theta -> min(ceil, theta / bottleneck(theta)) is
     # idempotent when one resource dominates (utilization is linear in
     # theta), so start undamped — most points converge in a couple of
-    # iterations — and only damp if the residual stops contracting
-    # (heterogeneous bottlenecks trading load back and forth).
+    # iterations.  If the residual stops contracting (heterogeneous
+    # bottlenecks trading load back and forth), damp at 0.5, and
+    # release the damping once contraction is clearly restored —
+    # measured over the sweep corpus this never iterates more than the
+    # sticky schedule and lets warm-started points regain full steps.
     damping = 0.0
     prev_residual = math.inf
-    for _ in range(_FIXED_POINT_MAX_ITERS):
+    iters = 0
+    for iters in range(1, _FIXED_POINT_MAX_ITERS + 1):
         weights = np.repeat(model.coef * theta, model.hops) * offered
         u_link = (
             np.bincount(
-                model.flat_codes,
-                weights=weights,
-                minlength=model.num_switches * model.m,
+                model.flat_codes, weights=weights, minlength=model.num_links
             )
-            / cap_link
+            / denom_link
         )
         u_engine = (
             np.bincount(
-                engine_codes, weights=weights, minlength=model.num_switches
+                engine_codes, weights=weights, minlength=model.num_engines
             )
-            / cap_engine
+            / denom_engine
         )
         per_code = np.maximum(u_link[model.flat_codes], u_engine[engine_codes])
         bottleneck = np.maximum.reduceat(per_code, model.offsets)
@@ -475,9 +839,11 @@ def _fixed_point(
             break
         if residual > 0.9 * prev_residual:
             damping = 0.5
+        elif damping and residual < 0.25 * prev_residual:
+            damping = 0.0
         prev_residual = residual
         theta = damping * theta + (1.0 - damping) * target
-    return theta, u_link, u_engine
+    return theta, u_link, u_engine, iters
 
 
 def _weighted_p99(latency: np.ndarray, weight: np.ndarray) -> float:
@@ -500,13 +866,27 @@ def evaluate_point(
     offered: float,
     *,
     measure_ns: float = 120_000.0,
+    theta0: Optional[np.ndarray] = None,
 ) -> dict:
     """One flow-level measurement, shaped like
     :meth:`repro.ib.subnet.Subnet.run_measurement`'s result.
 
     ``measure_ns`` only scales the synthetic ``packets`` count (used
-    as the latency weight when replicas are averaged).
+    as the latency weight when replicas are averaged).  ``theta0``
+    warm-starts the fixed point (see :func:`evaluate_curve`).
     """
+    result, _ = _evaluate_point_state(model, cfg, offered, measure_ns, theta0)
+    return result
+
+
+def _evaluate_point_state(
+    model: FlowModel,
+    cfg: SimConfig,
+    offered: float,
+    measure_ns: float,
+    theta0: Optional[np.ndarray],
+) -> Tuple[dict, Optional[np.ndarray]]:
+    """``(result dict, converged theta)`` — the warm-start plumbing."""
     if offered < 0:
         raise ValueError(f"offered load must be non-negative, got {offered}")
     if offered == 0:
@@ -518,8 +898,9 @@ def evaluate_point(
             "latency_total_mean": math.nan,
             "packets": 0,
             "backend": "flow",
-        }
-    theta, u_link, u_engine = _fixed_point(model, cfg, offered)
+            "iterations": 0,
+        }, None
+    theta, u_link, u_engine, iters = _fixed_point(model, cfg, offered, theta0)
     accepted_per_class = model.coef * theta * offered
     accepted = float(accepted_per_class.sum()) / model.num_nodes
 
@@ -539,15 +920,28 @@ def evaluate_point(
         u_e = np.minimum(u_engine, _U_CLIP)
         wait_engine = u_e / (2.0 * (1.0 - u_e)) * cfg.routing_time_ns
     else:
-        wait_engine = np.zeros(model.num_switches)
+        wait_engine = np.zeros(model.num_engines)
     per_code = (
-        wait_link[model.flat_codes] + wait_engine[model.flat_codes // model.m]
+        wait_link[model.flat_codes] + wait_engine[model.engine_codes]
     )
     latency = base + np.add.reduceat(per_code, model.offsets)
     # reduceat on a zero-length trailing segment would repeat the last
     # element; hops >= 1 for every class, so segments are well-formed.
     weight = accepted_per_class
     total_weight = float(weight.sum())
+    if total_weight == 0.0:
+        # A denormal offered load can underflow every per-class weight
+        # to zero; degrade like offered == 0 instead of dividing by it.
+        return {
+            "offered": offered,
+            "accepted": 0.0,
+            "latency_mean": math.nan,
+            "latency_p99": math.nan,
+            "latency_total_mean": math.nan,
+            "packets": 0,
+            "backend": "flow",
+            "iterations": iters,
+        }, theta
     latency_mean = float(latency @ weight) / total_weight
     latency_p99 = _weighted_p99(latency, weight)
     # Source queueing (generation -> injection) separates the
@@ -563,7 +957,194 @@ def evaluate_point(
         "latency_total_mean": latency_mean + source_wait,
         "packets": max(packets, 1),
         "backend": "flow",
+        "iterations": iters,
+    }, theta
+
+
+def evaluate_curve(
+    model: FlowModel,
+    cfg: SimConfig,
+    loads: Sequence[float],
+    *,
+    measure_ns: float = 120_000.0,
+    warm_start: bool = True,
+    jobs: int = 1,
+) -> List[dict]:
+    """Evaluate a whole load curve; results in input order.
+
+    ``warm_start=True`` (default) visits the loads in ascending order
+    and seeds each fixed point with the previous point's converged
+    ``theta`` — the solutions vary smoothly along a monotone sweep, so
+    saturated points converge in a fraction of the cold iterations.
+    ``jobs>1`` solves points concurrently over a shared-memory copy of
+    the model; concurrent points cannot chain ``theta``, so parallel
+    solving requires ``warm_start=False`` (results then bit-identical
+    to the serial cold path).
+    """
+    loads = list(loads)
+    if jobs > 1 and len(loads) > 1:
+        if warm_start:
+            raise ValueError(
+                "warm_start chains each point's theta into the next and "
+                "cannot run points concurrently; pass warm_start=False "
+                "to solve with jobs > 1"
+            )
+        return _evaluate_curve_parallel(model, cfg, loads, measure_ns, jobs)
+    results: List[Optional[dict]] = [None] * len(loads)
+    theta: Optional[np.ndarray] = None
+    for i in sorted(range(len(loads)), key=lambda i: loads[i]):
+        result, theta_out = _evaluate_point_state(
+            model, cfg, loads[i], measure_ns, theta if warm_start else None
+        )
+        results[i] = result
+        if theta_out is not None:
+            theta = theta_out
+    return results
+
+
+# -- shared-memory model transport -------------------------------------
+
+#: Array fields mirrored into shared memory by publish_flow_model.
+_SHM_ARRAYS = (
+    "class_keys",
+    "cnt_all",
+    "cnt_hotdst",
+    "cnt_hotsrc",
+    "coef",
+    "hops",
+    "flat_codes",
+    "offsets",
+    "is_ejection",
+    "unit_link",
+    "unit_engine",
+    "class_mult",
+    "engine_codes",
+    "link_mult",
+    "engine_mult",
+    "link_type_of_code",
+)
+
+_SHM_SCALARS = (
+    "m",
+    "n",
+    "scheme",
+    "pattern",
+    "hotspot_fraction",
+    "num_nodes",
+    "num_switches",
+    "num_leaves",
+    "lids_per_node",
+    "folded",
+    "num_links",
+    "num_engines",
+)
+
+
+def publish_flow_model(model: FlowModel) -> Tuple[dict, list]:
+    """Mirror a model into shared memory: ``(meta, segments)``.
+
+    ``meta`` is a small picklable description workers pass to
+    :func:`attach_flow_model`; ``segments`` are the owned
+    ``SharedMemory`` handles — close *and unlink* them (via
+    :func:`unpublish_flow_model`) when the workers are done.
+    """
+    arrays_meta = {}
+    segments = []
+    try:
+        for name in _SHM_ARRAYS:
+            arr = getattr(model, name)
+            if arr is None:
+                arrays_meta[name] = None
+                continue
+            arr = np.ascontiguousarray(arr)
+            shm, view = _shm_create(arr.shape, arr.dtype)
+            segments.append(shm)
+            view[...] = arr
+            del view
+            arrays_meta[name] = (shm.name, arr.dtype.str, arr.shape)
+    except Exception:  # pragma: no cover - allocation failure cleanup
+        unpublish_flow_model(segments)
+        raise
+    meta = {
+        "scalars": {name: getattr(model, name) for name in _SHM_SCALARS},
+        "arrays": arrays_meta,
     }
+    return meta, segments
+
+
+def unpublish_flow_model(segments: list) -> None:
+    """Close and unlink the segments returned by publish_flow_model."""
+    for shm in segments:
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover
+            pass
+
+
+def attach_flow_model(meta: dict) -> Tuple[FlowModel, list]:
+    """Rebuild a zero-copy :class:`FlowModel` view from publish meta.
+
+    Returns ``(model, segments)``; drop every reference to the model
+    (and its arrays) before closing the segments.
+    """
+    fields = dict(meta["scalars"])
+    segments = []
+    for name, spec in meta["arrays"].items():
+        if spec is None:
+            fields[name] = None
+            continue
+        shm_name, dtype, shape = spec
+        shm, view = _shm_attach(shm_name, shape, np.dtype(dtype))
+        segments.append(shm)
+        fields[name] = view
+    return FlowModel(**fields), segments
+
+
+def _curve_shm_worker(payload) -> List[dict]:
+    meta, cfg, loads, measure_ns = payload
+    model, segments = attach_flow_model(meta)
+    try:
+        return [
+            evaluate_point(model, cfg, offered, measure_ns=measure_ns)
+            for offered in loads
+        ]
+    finally:
+        del model
+        for shm in segments:
+            shm.close()
+        clear_flow_models()  # workers must not accumulate models
+
+
+def _evaluate_curve_parallel(
+    model: FlowModel,
+    cfg: SimConfig,
+    loads: List[float],
+    measure_ns: float,
+    jobs: int,
+) -> List[dict]:
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.experiments.parallel import _worker_init
+
+    meta, segments = publish_flow_model(model)
+    try:
+        bounds = np.linspace(0, len(loads), min(jobs, len(loads)) + 1)
+        bounds = bounds.astype(int)
+        tasks = [
+            (meta, cfg, loads[a:b], measure_ns)
+            for a, b in zip(bounds, bounds[1:])
+            if b > a
+        ]
+        with ProcessPoolExecutor(
+            max_workers=len(tasks),
+            initializer=_worker_init,
+            initargs=(list(sys.path),),
+        ) as pool:
+            parts = list(pool.map(_curve_shm_worker, tasks))
+    finally:
+        unpublish_flow_model(segments)
+    return [result for part in parts for result in part]
 
 
 # -- validation helpers ------------------------------------------------
@@ -575,11 +1156,25 @@ def flow_link_loads(model: FlowModel, weights: np.ndarray) -> np.ndarray:
     With integer-valued weights the accumulation is exact in float64,
     so the result is bit-identical to
     :meth:`RouteKernel.accumulate_link_loads` over the same flows.
+    For a folded model, ``weights[i]`` applies to *every* class of
+    orbit ``i``; the per-type totals (integer sums, exactly divisible
+    by the type multiplicity) expand back to physical links, keeping
+    the bit-identity with the unfolded oracle.
     """
     weights = np.asarray(weights, dtype=np.float64)
     if weights.shape != (model.num_classes,):
         raise ValueError(
             f"weights must be ({model.num_classes},), got {weights.shape}"
+        )
+    if model.folded:
+        type_loads = np.bincount(
+            model.flat_codes,
+            weights=np.repeat(weights * model.class_mult, model.hops),
+            minlength=model.num_links,
+        )
+        per_link = type_loads / model.link_mult
+        return per_link[model.link_type_of_code].reshape(
+            model.num_switches, model.m
         )
     loads = np.bincount(
         model.flat_codes,

@@ -84,10 +84,20 @@ def normalize_jobs(jobs: Optional[int]) -> int:
 
 
 def _worker_init(paths: List[str]) -> None:
-    """Make the parent's import path available in spawned workers."""
+    """Make the parent's import path available in spawned workers.
+
+    Also drops any flow models inherited from a forking parent: packet
+    workers never evaluate flow points, and a compiled *unfolded*
+    FT(32, 3) model in the parent's LRU is multi-gigabyte state no
+    worker should keep alive.  Workers repopulate their own artifact
+    caches per process (that inheritance is cheap and useful).
+    """
     for path in paths:
         if path not in sys.path:
             sys.path.append(path)
+    from repro.experiments.flowlevel import clear_flow_models
+
+    clear_flow_models()
 
 
 def execute_points(

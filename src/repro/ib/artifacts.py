@@ -50,6 +50,8 @@ __all__ = [
     "get_artifacts",
     "artifact_cache_info",
     "clear_artifact_cache",
+    "routing_cache_info",
+    "clear_routing_caches",
 ]
 
 #: Cache key: (m, n, scheme name, full simulation config).
@@ -162,3 +164,39 @@ def clear_artifact_cache() -> None:
         _cache.clear()
         _hits = 0
         _misses = 0
+
+
+def routing_cache_info() -> dict:
+    """Combined registry view over this process's routing caches.
+
+    Three layers memoize (m, n, scheme)-keyed work: the artifact cache
+    here, the flow-model LRU in
+    :mod:`repro.experiments.flowlevel`, and the persistent flow-model
+    store on disk (:mod:`repro.experiments.modelstore`).  This
+    cross-references all three so benchmarks and the CLI can tell
+    which layer a "fast" run actually hit.  The disk store is counted,
+    never loaded.
+    """
+    from repro.experiments import flowlevel, modelstore
+
+    return {
+        "artifacts": artifact_cache_info(),
+        "flow_models": flowlevel.flow_model_cache_info(),
+        "flow_store": {
+            "dir": str(modelstore.default_cache_dir()),
+            "models": len(modelstore.list_models()),
+        },
+    }
+
+
+def clear_routing_caches() -> None:
+    """Drop every in-process routing cache (artifacts + flow models).
+
+    The on-disk flow-model store is left alone — clear it explicitly
+    with :func:`repro.experiments.modelstore.clear_models` or
+    ``repro-ibft flow-cache clear``.
+    """
+    from repro.experiments.flowlevel import clear_flow_models
+
+    clear_artifact_cache()
+    clear_flow_models()

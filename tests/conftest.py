@@ -42,3 +42,10 @@ def slid43(ft43) -> SlidScheme:
 def fast_cfg() -> SimConfig:
     """Default simulation constants (paper values)."""
     return SimConfig()
+
+
+@pytest.fixture(autouse=True)
+def _isolated_flow_cache(tmp_path, monkeypatch):
+    """Keep the on-disk flow-model store out of the user's home during
+    tests: every test gets a private cache directory."""
+    monkeypatch.setenv("REPRO_FLOW_CACHE_DIR", str(tmp_path / "flow-models"))

@@ -65,7 +65,9 @@ def _kernel_weights(model, kern):
     ],
 )
 def test_uniform_loads_bit_identical_to_kernel(m, n, scheme):
-    model = build_flow_model(m, n, scheme, "uniform")
+    # fold=False: this is the *unfolded oracle* vs the kernel; the
+    # folded quotient is checked against the oracle in test_folding.py.
+    model = build_flow_model(m, n, scheme, "uniform", fold=False)
     kern = compile_kernel(get_scheme(scheme, FatTree(m, n)))
     expected = kern.accumulate_link_loads(_kernel_weights(model, kern))
     got = flow_link_loads(model, model.cnt_all)
@@ -74,7 +76,7 @@ def test_uniform_loads_bit_identical_to_kernel(m, n, scheme):
 
 @pytest.mark.parametrize("scheme", ["slid", "mlid"])
 def test_all_to_one_bit_identical_to_kernel(scheme):
-    model = build_flow_model(4, 2, scheme, "centric")
+    model = build_flow_model(4, 2, scheme, "centric", fold=False)
     kern = compile_kernel(get_scheme(scheme, FatTree(4, 2)))
     hot = kern.ft.nodes[0]
     flow = all_to_one_link_loads(model)
@@ -94,7 +96,7 @@ def test_all_to_one_requires_centric_model():
 
 
 def test_flow_link_loads_shape_validated():
-    model = build_flow_model(4, 2, "mlid", "uniform")
+    model = build_flow_model(4, 2, "mlid", "uniform", fold=False)
     with pytest.raises(ValueError, match="weights must be"):
         flow_link_loads(model, np.ones(3))
 
@@ -102,21 +104,33 @@ def test_flow_link_loads_shape_validated():
 # -- demand coefficients -----------------------------------------------
 
 
+@pytest.mark.parametrize("fold", [False, True])
 @pytest.mark.parametrize("pattern", ["uniform", "centric"])
-def test_coef_sums_to_num_nodes(pattern):
+def test_coef_sums_to_num_nodes(pattern, fold):
     """Total demand at theta=1 is one unit of offered load per node."""
-    model = build_flow_model(4, 2, "mlid", pattern)
+    model = build_flow_model(4, 2, "mlid", pattern, fold=fold)
+    assert model.folded == fold
+    mult = model.class_mult if model.folded else 1.0
     assert model.coef.sum() == pytest.approx(model.num_nodes, rel=1e-12)
-    assert model.cnt_all.sum() == model.num_nodes * (model.num_nodes - 1)
+    assert (model.cnt_all * mult).sum() == model.num_nodes * (
+        model.num_nodes - 1
+    )
+    assert model.total_classes == build_flow_model(
+        4, 2, "mlid", pattern, fold=False
+    ).num_classes
 
 
-def test_centric_counts_cover_hot_flows():
-    model = build_flow_model(4, 2, "mlid", "centric", hotspot_fraction=0.5)
+@pytest.mark.parametrize("fold", [False, True])
+def test_centric_counts_cover_hot_flows(fold):
+    model = build_flow_model(
+        4, 2, "mlid", "centric", hotspot_fraction=0.5, fold=fold
+    )
     total = model.num_nodes
+    mult = model.class_mult if model.folded else 1.0
     # Every non-hot source has exactly one flow to the hot node, and the
     # hot source has N-1 flows of its own.
-    assert model.cnt_hotdst.sum() == total - 1
-    assert model.cnt_hotsrc.sum() == total - 1
+    assert (model.cnt_hotdst * mult).sum() == total - 1
+    assert (model.cnt_hotsrc * mult).sum() == total - 1
 
 
 def test_unknown_pattern_rejected():
